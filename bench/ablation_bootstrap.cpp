@@ -1,0 +1,77 @@
+// Ablation A7: out-of-band bootstrap strategies for the on-demand design.
+//
+//   blocking      Put + Fence + lazy Gets        (PMI2 baseline)
+//   iallgather    PMIX_Iallgather + PMIX_Wait    (the paper's proposal)
+//   ring          PMIX_Ring + IB dissemination   (authors' ref. [16] +
+//                                                 Yu et al.'s ring startup)
+//
+// We measure mean start_pes, the PMIX/bootstrap wait paid at first
+// communication with a far peer, and the out-of-band bytes moved by the
+// process manager.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace odcm;
+using namespace odcm::bench;
+
+namespace {
+
+struct Result {
+  double start_pes_s;
+  double pmi_wait_ms;
+  double oob_kib;
+};
+
+Result run(std::uint32_t pes, core::PmiMode mode) {
+  core::ConduitConfig conduit = core::proposed_design();
+  conduit.pmi_mode = mode;
+  shmem::ShmemJobConfig config = paper_job(pes, 16, conduit);
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, config);
+  job.spawn_all([pes](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    // First communication with a far peer: this is where the non-blocking
+    // bootstrap pays its deferred wait.
+    shmem::SymAddr slot = pe.heap().allocate(8);
+    shmem::RankId far = (pe.rank() + pes / 2) % pes;
+    co_await pe.put_value<std::uint64_t>(far, slot, pe.rank());
+    co_await pe.finalize();
+  });
+  engine.run();
+  Result result{};
+  result.start_pes_s = mean_phase_s(job, "start_pes_total");
+  result.pmi_wait_ms = 1e3 * mean_phase_s(job, "pmi_wait") +
+                       1e3 * mean_phase_s(job, "pmi_exchange");
+  result.oob_kib =
+      static_cast<double>(job.conduit_job().pmi().oob_bytes_moved()) / 1024.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A7: bootstrap strategy for the on-demand design "
+              "(16 ppn)\n");
+  print_rule(86);
+  std::printf("%6s | %-12s %14s %18s %16s\n", "PEs", "bootstrap",
+              "start_pes (s)", "exchange+wait (ms)", "OOB moved (KiB)");
+  const std::pair<const char*, core::PmiMode> modes[] = {
+      {"blocking", core::PmiMode::kBlocking},
+      {"iallgather", core::PmiMode::kNonBlocking},
+      {"ring", core::PmiMode::kRing},
+  };
+  for (std::uint32_t pes : {1024u, 4096u}) {
+    for (const auto& [name, mode] : modes) {
+      Result result = run(pes, mode);
+      std::printf("%6u | %-12s %14.3f %18.3f %16.1f\n", pes, name,
+                  result.start_pes_s, result.pmi_wait_ms, result.oob_kib);
+    }
+    print_rule(86);
+  }
+  std::printf("Ring bootstrap keeps the process manager's work constant by "
+              "moving the table over\nInfiniBand; Iallgather keeps it "
+              "off the critical path; both beat the blocking\nexchange as "
+              "jobs grow.\n");
+  return 0;
+}

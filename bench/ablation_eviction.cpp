@@ -1,0 +1,84 @@
+// Ablation A6: adaptive connection management (Yu et al., IPDPS'06 — the
+// related-work direction the paper contrasts with).
+//
+// Capping live connections per PE trades endpoint memory for re-handshake
+// latency. We run a working set of W distinct peers per PE under different
+// caps and report the live-connection high-water mark, the total QPs
+// churned, eviction counts, and the job time.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace odcm;
+using namespace odcm::bench;
+
+namespace {
+
+struct Result {
+  double wall_s;
+  double live;
+  double created;
+  double evictions;
+};
+
+Result run(std::uint32_t cap) {
+  constexpr std::uint32_t kRanks = 64;
+  constexpr std::uint32_t kWorkingSet = 12;
+  shmem::ShmemJobConfig config =
+      paper_job(kRanks, 8, core::proposed_design());
+  config.job.conduit.max_active_connections = cap;
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, config);
+  sim::Time wall = job.run([](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    shmem::SymAddr slot = pe.heap().allocate(8ULL * 64, 8);
+    co_await pe.barrier_all();
+    // Three rounds over a 12-peer working set.
+    for (int round = 0; round < 3; ++round) {
+      for (std::uint32_t k = 1; k <= kWorkingSet; ++k) {
+        shmem::RankId peer = (pe.rank() + k * 5) % 64;
+        if (peer == pe.rank()) continue;
+        co_await pe.put_value<std::uint64_t>(peer, slot + 8ULL * pe.rank(),
+                                             round);
+      }
+    }
+    co_await pe.finalize();
+  });
+  Result result{};
+  result.wall_s = sim::to_seconds(wall);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    result.live += static_cast<double>(
+        job.conduit_job().conduit(r).connected_peer_count());
+    result.created += static_cast<double>(
+        job.pe(r).stats().counter("qp_created_rc"));
+    result.evictions += static_cast<double>(
+        job.pe(r).stats().counter("conn_evictions"));
+  }
+  result.live /= kRanks;
+  result.created /= kRanks;
+  result.evictions /= kRanks;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A6: adaptive connection cap, 64 PEs, 12-peer "
+              "working set, 3 rounds\n");
+  print_rule(76);
+  std::printf("%10s %12s %14s %14s %14s\n", "cap", "wall (s)",
+              "live conns/PE", "QPs made/PE", "evictions/PE");
+  for (std::uint32_t cap : {0u, 16u, 8u, 4u, 2u}) {
+    Result result = run(cap);
+    std::printf("%10s %12.3f %14.1f %14.1f %14.1f\n",
+                cap == 0 ? "unlimited" : std::to_string(cap).c_str(),
+                result.wall_s, result.live, result.created,
+                result.evictions);
+  }
+  print_rule(76);
+  std::printf("Caps below the working set trade endpoint memory for "
+              "re-handshake churn; the\npaper's on-demand design (unlimited) "
+              "is the cap->infinity point of this curve.\n");
+  return 0;
+}

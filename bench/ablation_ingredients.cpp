@@ -1,0 +1,62 @@
+// Ablation A1: how much of the startup win comes from each ingredient?
+//
+// The paper's proposed design bundles three changes; this bench applies
+// them cumulatively at a fixed job size:
+//   1. baseline        static + blocking PMI + global init barriers
+//   2. +on-demand      connections established lazily (incl. piggyback)
+//   3. +PMIX_Iallgather non-blocking out-of-band exchange
+//   4. +intra-node     init barriers become node-local (full proposed)
+#include <cstdio>
+
+#include "apps/hello.hpp"
+#include "bench_util.hpp"
+
+using namespace odcm;
+using namespace odcm::bench;
+
+int main() {
+  constexpr std::uint32_t kPes = 2048;
+  struct Step {
+    const char* name;
+    core::ConduitConfig config;
+  };
+  core::ConduitConfig baseline = core::current_design();
+  core::ConduitConfig on_demand = baseline;
+  on_demand.connection_mode = core::ConnectionMode::kOnDemand;
+  core::ConduitConfig nonblocking = on_demand;
+  nonblocking.pmi_mode = core::PmiMode::kNonBlocking;
+  core::ConduitConfig full = nonblocking;
+  full.init_barrier_mode = core::BarrierMode::kIntraNode;
+
+  const Step steps[] = {
+      {"baseline (static,blocking,global)", baseline},
+      {"+ on-demand connections", on_demand},
+      {"+ PMIX_Iallgather", nonblocking},
+      {"+ intra-node barriers (full)", full},
+  };
+
+  std::printf("Ablation A1: startup ingredients at %u PEs (16 ppn)\n", kPes);
+  print_rule(76);
+  std::printf("%-36s %12s %12s %12s\n", "Configuration", "start_pes(s)",
+              "hello(s)", "endpoints");
+  for (const Step& step : steps) {
+    std::unique_ptr<shmem::ShmemJob> job;
+    double wall = run_job(paper_job(kPes, 16, step.config),
+                          [](shmem::ShmemPe& pe) -> sim::Task<> {
+                            co_await apps::hello_pe(pe, apps::HelloParams{});
+                          },
+                          &job);
+    std::printf("%-36s %12.3f %12.3f %12.1f\n", step.name,
+                mean_phase_s(*job, "start_pes_total"), wall,
+                mean_endpoints(*job));
+  }
+  print_rule(76);
+  std::printf("On-demand removes the QP mesh and the PMI get storm — the "
+              "dominant win for a\ncommunication-free program. "
+              "PMIX_Iallgather's benefit is NOT visible in Hello\nWorld "
+              "(its background dissemination costs as much as the tiny "
+              "blocking fence it\nreplaces); it pays off when the exchange "
+              "is large (static design) or can be\nhidden beneath "
+              "computation — see ablation A2.\n");
+  return 0;
+}

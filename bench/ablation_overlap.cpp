@@ -1,0 +1,46 @@
+// Ablation A2: overlap sensitivity (paper §IV-D).
+//
+// With PMIX_Iallgather the out-of-band exchange progresses while the
+// application computes; a PE only waits for it at its first communication.
+// We insert `work` between start_pes and the first communication (the
+// finalize barrier) and measure (a) the PMIX_Wait stall and (b) the job
+// wall time minus the inserted work — if the exchange is hidden, (a) drops
+// to zero and (b) stays at the no-work constant.
+#include <cstdio>
+
+#include "apps/hello.hpp"
+#include "bench_util.hpp"
+
+using namespace odcm;
+using namespace odcm::bench;
+
+int main() {
+  constexpr std::uint32_t kPes = 4096;
+  std::printf("Ablation A2: hiding the PMI exchange beneath computation "
+              "(%u PEs, proposed design)\n", kPes);
+  print_rule(72);
+  std::printf("%12s %16s %18s %16s\n", "work (s)", "wall (s)",
+              "wall - work (s)", "PMIX_Wait (us)");
+  for (double work_s : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    apps::HelloParams params;
+    params.work = static_cast<sim::Time>(work_s * 1e9);
+    shmem::ShmemJobConfig config =
+        paper_job(kPes, 16, core::proposed_design());
+    // Strip the trailing bookkeeping from start_pes so the allgather has no
+    // free ride: any overlap must come from the inserted work.
+    config.shmem.init_misc = 0;
+    std::unique_ptr<shmem::ShmemJob> job;
+    double wall = run_job(config,
+                          [params](shmem::ShmemPe& pe) -> sim::Task<> {
+                            co_await apps::hello_pe(pe, params);
+                          },
+                          &job);
+    std::printf("%12.2f %16.3f %18.3f %16.1f\n", work_s, wall, wall - work_s,
+                1e6 * mean_phase_s(*job, "pmi_wait"));
+  }
+  print_rule(72);
+  std::printf("Paper: with sufficient overlap the initialization cost of "
+              "OpenSHMEM jobs is\nconstant at any core count — the exchange "
+              "completes before anyone waits on it.\n");
+  return 0;
+}

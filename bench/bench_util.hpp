@@ -1,0 +1,99 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shmem/job.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::bench {
+
+/// Job configuration mirroring the paper's clusters: `ppn` fully-subscribed
+/// PEs per node, production-sized (modeled) symmetric heaps backed by a
+/// small amount of real memory.
+inline shmem::ShmemJobConfig paper_job(std::uint32_t ranks, std::uint32_t ppn,
+                                       core::ConduitConfig conduit) {
+  shmem::ShmemJobConfig config;
+  config.job.ranks = ranks;
+  config.job.ranks_per_node = ppn;
+  config.job.conduit = conduit;
+  config.shmem.heap_bytes = 64 << 10;
+  config.shmem.modeled_heap_bytes = 256ULL << 20;
+  return config;
+}
+
+/// Same but with enough real heap for data-heavy kernels.
+inline shmem::ShmemJobConfig paper_job_heap(std::uint32_t ranks,
+                                            std::uint32_t ppn,
+                                            core::ConduitConfig conduit,
+                                            std::uint64_t heap_bytes) {
+  shmem::ShmemJobConfig config = paper_job(ranks, ppn, conduit);
+  config.shmem.heap_bytes = heap_bytes;
+  return config;
+}
+
+/// Mean of a per-PE recorded phase time, in seconds.
+inline double mean_phase_s(shmem::ShmemJob& job, const std::string& phase) {
+  double total = 0;
+  for (std::uint32_t r = 0; r < job.n_pes(); ++r) {
+    total += sim::to_seconds(job.pe(r).stats().phase_time(phase));
+  }
+  return total / job.n_pes();
+}
+
+/// Mean of a per-PE counter.
+inline double mean_counter(shmem::ShmemJob& job, const std::string& name) {
+  double total = 0;
+  for (std::uint32_t r = 0; r < job.n_pes(); ++r) {
+    total += static_cast<double>(job.pe(r).stats().counter(name));
+  }
+  return total / job.n_pes();
+}
+
+inline double mean_endpoints(shmem::ShmemJob& job) {
+  double total = 0;
+  for (std::uint32_t r = 0; r < job.n_pes(); ++r) {
+    total += static_cast<double>(job.pe(r).endpoints_created());
+  }
+  return total / job.n_pes();
+}
+
+inline double mean_peers(shmem::ShmemJob& job) {
+  double total = 0;
+  for (std::uint32_t r = 0; r < job.n_pes(); ++r) {
+    total += static_cast<double>(job.pe(r).communicating_peers());
+  }
+  return total / job.n_pes();
+}
+
+/// Run `program` on a fresh job; returns the wall (makespan) seconds and
+/// leaves the job available for stat queries through `out_job`.
+inline double run_job(shmem::ShmemJobConfig config,
+                      std::function<sim::Task<>(shmem::ShmemPe&)> program,
+                      std::unique_ptr<shmem::ShmemJob>* out_job = nullptr,
+                      sim::Engine* external_engine = nullptr) {
+  auto engine = std::make_unique<sim::Engine>();
+  sim::Engine& eng = external_engine != nullptr ? *external_engine : *engine;
+  auto job = std::make_unique<shmem::ShmemJob>(eng, config);
+  sim::Time makespan = job->run(std::move(program));
+  double seconds = sim::to_seconds(makespan);
+  if (out_job != nullptr) {
+    *out_job = std::move(job);
+    // Keep the engine alive alongside the job.
+    static std::vector<std::unique_ptr<sim::Engine>> retained;
+    if (external_engine == nullptr) retained.push_back(std::move(engine));
+  }
+  return seconds;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace odcm::bench

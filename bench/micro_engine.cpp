@@ -1,0 +1,131 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// real-time (host) cost of engine events, coroutine tasks, synchronization
+// primitives, and end-to-end simulated operations. These bound how large a
+// simulated job the harness can afford.
+#include <benchmark/benchmark.h>
+
+#include "core/conduit.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+using namespace odcm;
+
+namespace {
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(static_cast<sim::Time>(i), [] {});
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+void BM_CoroutineSpawnAndDelay(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 100; ++i) {
+      engine.spawn([](sim::Engine& eng) -> sim::Task<> {
+        for (int k = 0; k < 10; ++k) {
+          co_await eng.delay(5);
+        }
+      }(engine));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineSpawnAndDelay);
+
+void BM_MailboxPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Mailbox<int> a(engine);
+    sim::Mailbox<int> b(engine);
+    engine.spawn([](sim::Mailbox<int>& rx, sim::Mailbox<int>& tx)
+                     -> sim::Task<> {
+      for (int i = 0; i < 500; ++i) {
+        tx.push(i);
+        (void)co_await rx.pop();
+      }
+    }(a, b));
+    engine.spawn([](sim::Mailbox<int>& rx, sim::Mailbox<int>& tx)
+                     -> sim::Task<> {
+      for (int i = 0; i < 500; ++i) {
+        int v = co_await rx.pop();
+        tx.push(v);
+      }
+    }(b, a));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MailboxPingPong);
+
+void BM_SimulatedRdmaWrite(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    fabric::FabricConfig config;
+    config.nodes = 2;
+    fabric::Fabric fabric(engine, config);
+    fabric.hca(0).attach_pe(0);
+    fabric.hca(1).attach_pe(1);
+    fabric::AddressSpace space(1, fabric::make_va_base(1), size + 64);
+    engine.spawn([](fabric::Fabric& fab, fabric::AddressSpace& mem,
+                    std::size_t bytes) -> sim::Task<> {
+      fabric::QueuePair* a = co_await fab.hca(0).create_qp(
+          fabric::QpType::kRc, 0);
+      fabric::QueuePair* b = co_await fab.hca(1).create_qp(
+          fabric::QpType::kRc, 1);
+      co_await a->transition(fabric::QpState::kInit);
+      co_await b->transition(fabric::QpState::kInit);
+      a->set_remote(b->addr());
+      b->set_remote(a->addr());
+      co_await a->transition(fabric::QpState::kRtr);
+      co_await a->transition(fabric::QpState::kRts);
+      co_await b->transition(fabric::QpState::kRtr);
+      co_await b->transition(fabric::QpState::kRts);
+      fabric::MemoryRegion mr =
+          co_await fab.hca(1).register_memory(mem, mem.base(), mem.size());
+      for (int i = 0; i < 100; ++i) {
+        (void)co_await a->rdma_write(mr.addr, mr.rkey,
+                                     std::vector<std::byte>(bytes));
+      }
+    }(fabric, space, size));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.SetBytesProcessed(state.iterations() * 100 *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_SimulatedRdmaWrite)->Arg(8)->Arg(4096)->Arg(65536);
+
+void BM_OnDemandHandshake(benchmark::State& state) {
+  // Host cost of one full simulated connection establishment (Fig 4).
+  for (auto _ : state) {
+    sim::Engine engine;
+    core::JobConfig config;
+    config.ranks = 2;
+    config.ranks_per_node = 1;
+    config.conduit = core::proposed_design();
+    core::ConduitJob job(engine, config);
+    job.spawn_all([](core::Conduit& c) -> sim::Task<> {
+      co_await c.init();
+      if (c.rank() == 0) {
+        (void)co_await c.connected_qp(1);
+      }
+      co_await c.barrier_global();
+    });
+    engine.run();
+  }
+}
+BENCHMARK(BM_OnDemandHandshake);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Domain scenario 1: distributed 2D heat conduction (the paper's "2DHeat"
+// workload). Runs the real Jacobi solver on a PE grid, verifies the result
+// against a serial reference, and reports the communication footprint that
+// makes this kernel the best case for on-demand connections (Fig 9).
+//
+//   $ ./heat_diffusion [pes] [grid_n] [iters]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/heat2d.hpp"
+#include "shmem/job.hpp"
+
+using namespace odcm;
+
+int main(int argc, char** argv) {
+  std::uint32_t pes = argc > 1 ? std::atoi(argv[1]) : 16;
+  std::uint32_t grid_n = argc > 2 ? std::atoi(argv[2]) : 96;
+  std::uint32_t iters = argc > 3 ? std::atoi(argv[3]) : 40;
+
+  sim::Engine engine;
+  shmem::ShmemJobConfig config;
+  config.job.ranks = pes;
+  config.job.ranks_per_node = 8;
+  config.job.conduit = core::proposed_design();
+  config.shmem.heap_bytes = 4 << 20;
+
+  shmem::ShmemJob job(engine, config);
+  std::vector<apps::KernelResult> results(pes);
+
+  apps::Heat2dParams params;
+  params.global_n = grid_n;
+  params.iters = iters;
+
+  sim::Time makespan = job.run([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await apps::heat2d_pe(pe, params, results[pe.rank()]);
+    co_await pe.finalize();
+  });
+
+  bool all_ok = true;
+  for (const auto& result : results) all_ok = all_ok && result.verified;
+
+  double mean_peers = 0;
+  double mean_endpoints = 0;
+  for (shmem::RankId r = 0; r < pes; ++r) {
+    mean_peers += static_cast<double>(job.pe(r).communicating_peers());
+    mean_endpoints += static_cast<double>(job.pe(r).endpoints_created());
+  }
+  mean_peers /= pes;
+  mean_endpoints /= pes;
+
+  std::printf("2D heat: %ux%u grid on %u PEs, %u iterations\n", grid_n,
+              grid_n, pes, iters);
+  std::printf("  verified vs serial reference : %s\n",
+              all_ok ? "YES" : "NO (BUG)");
+  std::printf("  virtual execution time       : %.3f s\n",
+              sim::to_seconds(makespan));
+  std::printf("  avg communicating peers/PE   : %.1f (of %u total PEs)\n",
+              mean_peers, pes);
+  std::printf("  avg IB endpoints created/PE  : %.1f (static design: %u)\n",
+              mean_endpoints, pes + 1);
+  return all_ok ? 0 : 1;
+}

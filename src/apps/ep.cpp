@@ -1,0 +1,119 @@
+#include <cmath>
+#include <cstring>
+
+#include "apps/ep.hpp"
+
+namespace odcm::apps {
+
+namespace {
+
+// NAS-style 46-bit linear congruential generator.
+constexpr std::uint64_t kMask46 = (1ULL << 46) - 1;
+constexpr std::uint64_t kA = 1220703125ULL;  // 5^13
+constexpr std::uint64_t kSeed = 271828183ULL;
+
+std::uint64_t lcg_mul(std::uint64_t a, std::uint64_t b) {
+  return (static_cast<unsigned __int128>(a) * b) & kMask46;
+}
+
+/// a^n mod 2^46 — lets any PE seek the stream to its chunk in O(log n).
+std::uint64_t lcg_pow(std::uint64_t a, std::uint64_t n) {
+  std::uint64_t result = 1;
+  std::uint64_t base = a & kMask46;
+  while (n != 0) {
+    if (n & 1) result = lcg_mul(result, base);
+    base = lcg_mul(base, base);
+    n >>= 1;
+  }
+  return result;
+}
+
+struct Lcg {
+  std::uint64_t state;
+
+  /// Seek to element `index` of the stream that starts at kSeed.
+  static Lcg at(std::uint64_t index) {
+    return Lcg{lcg_mul(lcg_pow(kA, index), kSeed)};
+  }
+
+  double next() {
+    state = lcg_mul(kA, state);
+    return static_cast<double>(state) * 0x1.0p-46;
+  }
+};
+
+}  // namespace
+
+EpCounts ep_reference(std::uint64_t first, std::uint64_t count) {
+  EpCounts counts;
+  Lcg rng = Lcg::at(first * 2);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    double x = 2.0 * rng.next() - 1.0;
+    double y = 2.0 * rng.next() - 1.0;
+    double t = x * x + y * y;
+    if (t > 1.0 || t == 0.0) continue;
+    double factor = std::sqrt(-2.0 * std::log(t) / t);
+    double gx = x * factor;
+    double gy = y * factor;
+    ++counts.accepted;
+    counts.sx += gx;
+    counts.sy += gy;
+    auto bin = static_cast<std::uint32_t>(
+        std::max(std::fabs(gx), std::fabs(gy)));
+    if (bin < counts.bins.size()) {
+      ++counts.bins[bin];
+    }
+  }
+  return counts;
+}
+
+sim::Task<> ep_pe(shmem::ShmemPe& pe, EpParams params, KernelResult& result) {
+  const std::uint32_t p = pe.n_pes();
+  const std::uint64_t total = 1ULL << params.log2_pairs;
+  const std::uint64_t chunk = total / p;
+  const std::uint64_t first = chunk * pe.rank() +
+                              std::min<std::uint64_t>(pe.rank(), total % p);
+  const std::uint64_t count = chunk + (pe.rank() < total % p ? 1 : 0);
+
+  // Symmetric buffers for the reduction stage: 10 bins + sx + sy + accepted.
+  constexpr std::uint32_t kValues = 13;
+  shmem::SymAddr src = pe.heap().allocate(8 * kValues, 8);
+  shmem::SymAddr dst = pe.heap().allocate(8 * kValues, 8);
+
+  EpCounts local = ep_reference(first, count);
+  co_await compute(pe, params.compute_ns_per_pair *
+                           static_cast<double>(count));
+
+  for (std::size_t b = 0; b < local.bins.size(); ++b) {
+    pe.local_write<double>(src + 8 * b, static_cast<double>(local.bins[b]));
+  }
+  pe.local_write<double>(src + 80, local.sx);
+  pe.local_write<double>(src + 88, local.sy);
+  pe.local_write<double>(src + 96, static_cast<double>(local.accepted));
+  co_await pe.reduce<double>(dst, src, kValues, shmem::ReduceOp::kSum);
+
+  if (params.verify && pe.rank() == 0) {
+    EpCounts reference = ep_reference(0, total);
+    for (std::size_t b = 0; b < reference.bins.size(); ++b) {
+      if (pe.local_read<double>(dst + 8 * b) !=
+          static_cast<double>(reference.bins[b])) {
+        result.fail("ep: bin mismatch");
+      }
+    }
+    if (pe.local_read<double>(dst + 96) !=
+        static_cast<double>(reference.accepted)) {
+      result.fail("ep: acceptance count mismatch");
+    }
+    // Floating-point sums are reduced in tree order; allow a relative
+    // tolerance for sx/sy.
+    double sx = pe.local_read<double>(dst + 80);
+    double sy = pe.local_read<double>(dst + 88);
+    if (std::fabs(sx - reference.sx) > 1e-6 * (1.0 + std::fabs(reference.sx)) ||
+        std::fabs(sy - reference.sy) > 1e-6 * (1.0 + std::fabs(reference.sy))) {
+      result.fail("ep: gaussian sum mismatch");
+    }
+  }
+  co_await pe.barrier_all();
+}
+
+}  // namespace odcm::apps

@@ -1,0 +1,38 @@
+// NAS EP (Embarrassingly Parallel) kernel.
+//
+// Real computation: the NAS linear-congruential generator (a = 5^13,
+// modulus 2^46) produces uniform pairs; the Marsaglia polar method accepts
+// pairs inside the unit circle and produces Gaussian deviates, which are
+// counted into 10 square annuli. The only communication is the final set of
+// sum reductions — which is why EP has the fewest communicating peers in
+// Table I.
+//
+// Verification: rank 0 re-runs every PE's chunk serially (the generator is
+// seekable) and compares counts and sums exactly.
+#pragma once
+
+#include <array>
+
+#include "apps/common.hpp"
+
+namespace odcm::apps {
+
+struct EpParams {
+  std::uint32_t log2_pairs = 16;     ///< Total pairs = 2^log2_pairs.
+  double compute_ns_per_pair = 20.0; ///< Models class-scale FLOP cost.
+  bool verify = true;
+};
+
+struct EpCounts {
+  std::array<std::int64_t, 10> bins{};
+  double sx = 0;
+  double sy = 0;
+  std::int64_t accepted = 0;
+};
+
+/// Serial reference over pairs [first, first+count) of the global stream.
+EpCounts ep_reference(std::uint64_t first, std::uint64_t count);
+
+sim::Task<> ep_pe(shmem::ShmemPe& pe, EpParams params, KernelResult& result);
+
+}  // namespace odcm::apps

@@ -1,0 +1,35 @@
+// Hybrid MPI+OpenSHMEM Graph500-style BFS, after Jose et al. (paper §V-E).
+//
+// The graph (default: 1,024 vertices / 16,384 edges, as in the paper) is
+// generated deterministically; vertices are block-distributed. The BFS is
+// level-synchronized and hybrid:
+//   * data plane (OpenSHMEM): discovered (vertex, parent) pairs are pushed
+//     into the owner's symmetric queue — an atomic fetch-add reserves the
+//     slot, a one-sided put writes the entry;
+//   * control plane (MPI): barrier between levels and an allreduce of the
+//     next-frontier size for termination.
+//
+// The reported time includes graph generation and result validation, as in
+// the paper. Validation checks that every parent edge exists, that the BFS
+// levels are consistent, and that exactly the serially-reachable vertex set
+// was visited.
+#pragma once
+
+#include "apps/common.hpp"
+#include "mpi/mpi.hpp"
+
+namespace odcm::apps {
+
+struct Graph500Params {
+  std::uint32_t vertices = 1024;
+  std::uint32_t edges = 16384;
+  std::uint64_t seed = 0x5EED;
+  std::uint32_t root = 0;
+  double compute_ns_per_edge = 15.0;  ///< Generation + scan cost model.
+  bool verify = true;
+};
+
+sim::Task<> graph500_pe(shmem::ShmemPe& pe, mpi::MpiComm& comm,
+                        Graph500Params params, KernelResult& result);
+
+}  // namespace odcm::apps

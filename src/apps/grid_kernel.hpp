@@ -1,0 +1,40 @@
+// BT / SP communication kernels.
+//
+// NAS BT and SP both run on a (near-)square process grid with a
+// multi-partition decomposition: every PE exchanges faces with its four
+// orthogonal neighbors and, through the diagonal sweep dependencies, with
+// its four diagonal neighbors, plus periodic residual reductions — which is
+// why Table I reports ~10 communicating peers for both. The kernels here
+// implement exactly that communication graph with torus wrap-around.
+//
+// Data movement is real: faces carry the deterministic pattern
+// `halo_value(sender, iter, channel, element)` and every receiver verifies
+// the contents, so a routing or addressing bug fails the run. Per-sweep
+// computation is modeled in virtual time.
+//
+// BT vs SP (mirroring the real codes' behaviour at a fixed problem size):
+//   BT: fewer, larger messages per sweep; more compute per iteration.
+//   SP: more, smaller messages per sweep; less compute per iteration.
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace odcm::apps {
+
+struct GridKernelParams {
+  std::uint32_t iters = 30;
+  std::uint32_t face_elems = 128;     ///< Doubles per face message.
+  std::uint32_t sweeps = 3;           ///< Messages per neighbor per iter.
+  std::uint32_t residual_every = 5;
+  double compute_ns_per_iter = 3.0e6;
+  bool verify_halos = true;
+};
+
+/// Paper-calibrated parameter sets (per-PE working set of a class-B run).
+GridKernelParams bt_params();
+GridKernelParams sp_params();
+
+sim::Task<> grid_kernel_pe(shmem::ShmemPe& pe, GridKernelParams params,
+                           KernelResult& result);
+
+}  // namespace odcm::apps

@@ -1,0 +1,30 @@
+// 2D heat-conduction kernel (Jacobi iteration), after Palansuriya et al —
+// the "2DHeat" workload of Table I and Fig 9.
+//
+// Real numerics: each PE owns an (nx+2) x (ny+2) tile of doubles with ghost
+// rows/columns, exchanges halos with its 4 grid neighbors through one-sided
+// puts + cumulative atomic flags (no global barrier per iteration, so the
+// communication graph stays minimal), and every `residual_every` iterations
+// joins a sum reduction of the squared update norm.
+//
+// Verification: rank 0 gathers the final field and compares it bit-for-bit
+// with a serial Jacobi solver (cell updates are order-independent, so the
+// parallel and serial results are identical doubles).
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace odcm::apps {
+
+struct Heat2dParams {
+  std::uint32_t global_n = 64;    ///< Global interior is global_n x global_n.
+  std::uint32_t iters = 40;
+  std::uint32_t residual_every = 10;
+  double compute_ns_per_cell = 2.0;  ///< Modeled FLOP cost per cell update.
+  bool verify = true;                ///< Gather + serial check on rank 0.
+};
+
+sim::Task<> heat2d_pe(shmem::ShmemPe& pe, Heat2dParams params,
+                      KernelResult& result);
+
+}  // namespace odcm::apps

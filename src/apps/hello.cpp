@@ -1,0 +1,13 @@
+#include "apps/hello.hpp"
+
+namespace odcm::apps {
+
+sim::Task<> hello_pe(shmem::ShmemPe& pe, HelloParams params) {
+  co_await pe.start_pes();
+  if (params.work > 0) {
+    co_await pe.engine().delay(params.work);
+  }
+  co_await pe.finalize();
+}
+
+}  // namespace odcm::apps

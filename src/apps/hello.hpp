@@ -1,0 +1,19 @@
+// Hello World: the paper's minimal startup/teardown workload (Fig 5a).
+#pragma once
+
+#include "apps/common.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::apps {
+
+struct HelloParams {
+  /// Simulated computation performed between start_pes and finalize; lets
+  /// the overlap ablation (A2) vary how much PMI exchange can be hidden.
+  sim::Time work = 0;
+};
+
+/// start_pes → (optional work) → finalize. Per-PE start_pes duration is
+/// recorded by the runtime in stats()["start_pes_total"].
+sim::Task<> hello_pe(shmem::ShmemPe& pe, HelloParams params);
+
+}  // namespace odcm::apps

@@ -1,0 +1,25 @@
+// NAS MG (multigrid) communication kernel.
+//
+// A 3D process grid runs V-cycles: at every grid level each PE exchanges
+// faces with its 6 torus neighbors (message size shrinking 4x per level,
+// compute shrinking 8x) and each V-cycle ends with a residual reduction.
+// Same content-verified halo scheme as the BT/SP kernel.
+#pragma once
+
+#include "apps/common.hpp"
+
+namespace odcm::apps {
+
+struct MgParams {
+  std::uint32_t vcycles = 8;
+  std::uint32_t levels = 4;
+  std::uint32_t finest_face_elems = 256;  ///< Doubles per face at level 0.
+  double compute_ns_finest = 6.0e6;       ///< Per-PE smoothing at level 0.
+  bool verify_halos = true;
+};
+
+MgParams mg_params();
+
+sim::Task<> mg_pe(shmem::ShmemPe& pe, MgParams params, KernelResult& result);
+
+}  // namespace odcm::apps

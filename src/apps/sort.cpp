@@ -1,0 +1,168 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "apps/sort.hpp"
+#include "sim/random.hpp"
+
+namespace odcm::apps {
+
+namespace {
+
+std::vector<std::uint64_t> generate_keys(const SortParams& params,
+                                         RankId rank) {
+  sim::Rng rng(params.seed * 7919 + rank);
+  std::vector<std::uint64_t> keys(params.keys_per_pe);
+  for (auto& key : keys) key = rng.next_u64();
+  return keys;
+}
+
+struct Fingerprint {
+  std::uint64_t count = 0;
+  std::uint64_t xor_all = 0;
+  std::uint64_t sum = 0;
+
+  void add(std::uint64_t key) {
+    ++count;
+    xor_all ^= key;
+    sum += key;  // wrap-around is fine: both sides wrap identically
+  }
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+}  // namespace
+
+sim::Task<> sample_sort_pe(shmem::ShmemPe& pe, mpi::MpiComm& comm,
+                           SortParams params, KernelResult& result) {
+  const std::uint32_t p = pe.n_pes();
+  const std::uint64_t total_keys =
+      static_cast<std::uint64_t>(params.keys_per_pe) * p;
+
+  // Symmetric receive area: worst case every key lands on one PE (the
+  // verifier uses uniform keys, so realistic skew is tiny, but correctness
+  // must not depend on the distribution).
+  shmem::SymAddr tail_addr = pe.heap().allocate(8, 8);
+  shmem::SymAddr recv_addr = pe.heap().allocate(8 * total_keys, 8);
+  pe.local_write<std::uint64_t>(tail_addr, 0);
+
+  // 1. generate + local sort (real data, modeled sort time).
+  std::vector<std::uint64_t> keys = generate_keys(params, pe.rank());
+  std::sort(keys.begin(), keys.end());
+  co_await compute(pe, params.compute_ns_per_key * params.keys_per_pe);
+
+  co_await comm.barrier();  // everyone's buffers initialized
+
+  // 2. control plane: sample, gather on rank 0, choose + broadcast
+  //    splitters (p-1 of them).
+  std::vector<std::uint64_t> samples(params.oversample);
+  for (std::uint32_t s = 0; s < params.oversample; ++s) {
+    std::size_t index = (s + 1) * keys.size() / (params.oversample + 1);
+    samples[s] = keys[std::min(index, keys.size() - 1)];
+  }
+  std::vector<std::byte> gathered(pe.rank() == 0
+                                      ? 8ULL * params.oversample * p
+                                      : 0);
+  co_await comm.gather(
+      0,
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(samples.data()),
+          8ULL * samples.size()),
+      gathered);
+
+  std::vector<std::uint64_t> splitters(p - 1);
+  if (pe.rank() == 0) {
+    std::vector<std::uint64_t> all(params.oversample * p);
+    std::memcpy(all.data(), gathered.data(), gathered.size());
+    std::sort(all.begin(), all.end());
+    for (std::uint32_t s = 1; s < p; ++s) {
+      splitters[s - 1] = all[s * all.size() / p];
+    }
+  }
+  if (p > 1) {
+    co_await comm.bcast(0, std::as_writable_bytes(std::span(splitters)));
+  }
+
+  // 3. data plane: push each partition to its owner with fetch-add + put.
+  std::size_t begin = 0;
+  for (RankId owner = 0; owner < p; ++owner) {
+    std::size_t end =
+        owner + 1 < p
+            ? static_cast<std::size_t>(
+                  std::lower_bound(keys.begin(), keys.end(),
+                                   splitters[owner]) -
+                  keys.begin())
+            : keys.size();
+    if (end > begin) {
+      std::uint64_t n = end - begin;
+      std::uint64_t slot = co_await pe.atomic_fetch_add(owner, tail_addr, n);
+      if (slot + n > total_keys) {
+        throw std::runtime_error("sample sort: receive buffer overflow");
+      }
+      co_await pe.put(
+          owner, recv_addr + 8 * slot,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(keys.data() + begin),
+              8 * n));
+    }
+    begin = end;
+  }
+
+  co_await comm.barrier();  // all partitions delivered
+
+  // 4. local sort of the received bucket (real).
+  std::uint64_t received = pe.local_read<std::uint64_t>(tail_addr);
+  std::vector<std::uint64_t> bucket(received);
+  for (std::uint64_t k = 0; k < received; ++k) {
+    bucket[k] = pe.local_read<std::uint64_t>(recv_addr + 8 * k);
+  }
+  std::sort(bucket.begin(), bucket.end());
+  co_await compute(pe, params.compute_ns_per_key * 1.2 *
+                           static_cast<double>(received));
+  // Write the sorted bucket back so the verifier can read it one-sided.
+  for (std::uint64_t k = 0; k < received; ++k) {
+    pe.local_write<std::uint64_t>(recv_addr + 8 * k, bucket[k]);
+  }
+
+  co_await comm.barrier();
+
+  // ---- verification on rank 0 ----
+  if (params.verify && pe.rank() == 0) {
+    Fingerprint expected;
+    for (RankId r = 0; r < p; ++r) {
+      for (std::uint64_t key : generate_keys(params, r)) expected.add(key);
+    }
+    Fingerprint actual;
+    std::uint64_t previous_max = 0;
+    bool first = true;
+    for (RankId r = 0; r < p; ++r) {
+      std::uint64_t count = co_await pe.get_value<std::uint64_t>(r, tail_addr);
+      if (count == 0) continue;
+      std::vector<std::byte> raw(8 * count);
+      co_await pe.get(r, recv_addr, raw);
+      std::vector<std::uint64_t> values(count);
+      std::memcpy(values.data(), raw.data(), raw.size());
+      for (std::uint64_t k = 0; k < count; ++k) {
+        actual.add(values[k]);
+        if (k > 0 && values[k] < values[k - 1]) {
+          result.fail("sort: bucket not sorted on rank " + std::to_string(r));
+        }
+      }
+      if (!first && values.front() < previous_max) {
+        result.fail("sort: global order violated at rank " +
+                    std::to_string(r));
+      }
+      previous_max = values.back();
+      first = false;
+    }
+    if (!(actual == expected)) {
+      result.fail("sort: key multiset not conserved");
+    }
+    if (actual.count != total_keys) {
+      result.fail("sort: key count mismatch");
+    }
+  }
+  co_await comm.barrier();
+}
+
+}  // namespace odcm::apps

@@ -1,0 +1,36 @@
+// Hybrid MPI+OpenSHMEM distributed sample sort, after Jose et al.,
+// "Designing Scalable Out-of-core Sorting with Hybrid MPI+PGAS Programming
+// Models" — reference [6] of the paper and one of the hybrid workloads
+// motivating the unified runtime.
+//
+// Plan (classic sample sort):
+//   1. every PE generates and locally sorts its keys;
+//   2. control plane (MPI): regular samples are gathered on rank 0,
+//      splitters chosen and broadcast;
+//   3. data plane (OpenSHMEM): each PE pushes each partition into the
+//      owner's symmetric receive buffer — an atomic fetch-add reserves
+//      space, a one-sided put writes the keys;
+//   4. every PE sorts what it received.
+//
+// Verification (rank 0): global order across PE boundaries, local
+// sortedness, key conservation (count + XOR/sum fingerprints match the
+// generated multiset exactly).
+#pragma once
+
+#include "apps/common.hpp"
+#include "mpi/mpi.hpp"
+
+namespace odcm::apps {
+
+struct SortParams {
+  std::uint32_t keys_per_pe = 512;
+  std::uint64_t seed = 0x5047;
+  std::uint32_t oversample = 4;     ///< Samples per PE for splitter choice.
+  double compute_ns_per_key = 25.0; ///< Local sort cost model.
+  bool verify = true;
+};
+
+sim::Task<> sample_sort_pe(shmem::ShmemPe& pe, mpi::MpiComm& comm,
+                           SortParams params, KernelResult& result);
+
+}  // namespace odcm::apps

@@ -1,0 +1,107 @@
+// Barriers: the AM-tree global barrier and the shared-memory intra-node
+// barrier that replaces it during initialization (paper §IV-E).
+#include <stdexcept>
+
+#include "core/conduit.hpp"
+
+namespace odcm::core {
+
+namespace {
+
+std::vector<std::byte> encode_round(std::uint32_t round) {
+  std::vector<std::byte> out;
+  wire::put_int<std::uint32_t>(out, round);
+  return out;
+}
+
+}  // namespace
+
+Conduit::BarrierRound& Conduit::barrier_round(std::uint32_t round) {
+  auto it = barrier_rounds_.find(round);
+  if (it == barrier_rounds_.end()) {
+    it = barrier_rounds_
+             .emplace(round, std::make_unique<BarrierRound>(engine()))
+             .first;
+  }
+  return *it->second;
+}
+
+void Conduit::handle_barrier_arrive(RankId /*src*/, std::uint32_t round) {
+  BarrierRound& state = barrier_round(round);
+  std::uint32_t fanout = config().barrier_fanout;
+  std::uint64_t first_child =
+      static_cast<std::uint64_t>(rank_) * fanout + 1;
+  std::uint32_t children = 0;
+  for (std::uint32_t c = 0; c < fanout; ++c) {
+    if (first_child + c < size()) ++children;
+  }
+  if (++state.arrived == children) {
+    state.arrivals.open();
+  }
+}
+
+void Conduit::handle_barrier_release(std::uint32_t round) {
+  barrier_round(round).release.open();
+}
+
+sim::Task<> Conduit::barrier_global() {
+  const std::uint32_t n = size();
+  if (n == 1) {
+    co_await engine().delay(config().intranode_barrier_hop);
+    co_return;
+  }
+  std::uint32_t round = barrier_next_round_++;
+  BarrierRound& state = barrier_round(round);
+  const std::uint32_t fanout = config().barrier_fanout;
+
+  std::vector<RankId> children;
+  for (std::uint32_t c = 0; c < fanout; ++c) {
+    std::uint64_t child = static_cast<std::uint64_t>(rank_) * fanout + 1 + c;
+    if (child < n) children.push_back(static_cast<RankId>(child));
+  }
+
+  // Wait for all children to check in, then report up (or release if root).
+  if (!children.empty()) {
+    co_await state.arrivals.wait();
+  }
+  if (rank_ == 0) {
+    state.release.open();
+  } else {
+    RankId parent = (rank_ - 1) / fanout;
+    co_await am_send(parent, /*handler=*/0, encode_round(round));
+    co_await state.release.wait();
+  }
+  for (RankId child : children) {
+    co_await am_send(child, /*handler=*/1, encode_round(round));
+  }
+  barrier_rounds_.erase(round);
+  stats_.add("barriers_global");
+}
+
+sim::Task<> Conduit::barrier_intranode() {
+  ConduitJob::NodeBarrier& nb = *job_.node_barriers_[node_];
+  const std::uint32_t expected = job_.ranks_on_node(node_);
+  co_await engine().delay(config().intranode_barrier_hop);
+  std::uint64_t my_round = nb.round;
+  if (++nb.arrived == expected) {
+    nb.arrived = 0;
+    ++nb.round;
+    nb.trigger.notify_all();
+  } else {
+    while (nb.round == my_round) {
+      co_await nb.trigger.wait();
+    }
+  }
+  co_await engine().delay(config().intranode_barrier_hop);
+  stats_.add("barriers_intranode");
+}
+
+sim::Task<> Conduit::barrier_init() {
+  if (config().init_barrier_mode == BarrierMode::kGlobal) {
+    co_await barrier_global();
+  } else {
+    co_await barrier_intranode();
+  }
+}
+
+}  // namespace odcm::core

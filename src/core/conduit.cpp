@@ -1,0 +1,388 @@
+// Conduit lifecycle, listeners, active messages and RMA wrappers.
+#include <stdexcept>
+#include <utility>
+
+#include "core/conduit.hpp"
+
+namespace odcm::core {
+
+namespace {
+constexpr const char* kUdKeyPrefix = "odcm-ud:";
+}
+
+Conduit::Conduit(ConduitJob& job, RankId rank)
+    : job_(job), rank_(rank), node_(job.node_of(rank)) {}
+
+Conduit::~Conduit() = default;
+
+std::uint32_t Conduit::size() const noexcept { return job_.ranks(); }
+
+const ConduitConfig& Conduit::config() const noexcept {
+  return job_.config().conduit;
+}
+
+fabric::Hca& Conduit::hca() { return job_.fabric().hca(node_); }
+
+pmi::PmiClient& Conduit::pmi() { return job_.pmi().client(rank_); }
+
+sim::Engine& Conduit::engine() { return job_.engine(); }
+
+// ---- lifecycle ----
+
+sim::Task<> Conduit::init() {
+  if (initialized_) {
+    throw std::logic_error("Conduit::init: already initialized");
+  }
+  listeners_done_ = std::make_unique<sim::JoinCounter>(engine());
+  listeners_done_->add();
+  ++listener_count_;
+  engine().spawn(srq_listener());
+
+  if (config().connection_mode == ConnectionMode::kOnDemand) {
+    {
+      sim::PhaseTimer timer(engine(), stats_, "connection_setup");
+      ud_qp_ = co_await hca().create_qp(fabric::QpType::kUd, rank_);
+      co_await ud_qp_->to_rts();
+      stats_.add("qp_created_ud");
+    }
+    listeners_done_->add();
+    ++listener_count_;
+    engine().spawn(ud_listener());
+    {
+      sim::PhaseTimer timer(engine(), stats_, "pmi_exchange");
+      co_await publish_ud_endpoint();
+    }
+  } else if (size() > config().bulk_connect_threshold) {
+    co_await static_connect_bulk();
+  } else {
+    co_await static_connect_all();
+  }
+  initialized_ = true;
+}
+
+sim::Task<> Conduit::finalize() {
+  if (!initialized_ || finalized_) {
+    co_return;
+  }
+  finalized_ = true;
+
+  // Ring bootstrap must finish before receive queues close: every PE's
+  // table completes with exactly the messages already in flight, so no PE
+  // closes a queue another PE's ring task still needs.
+  if (config().pmi_mode == PmiMode::kRing && ud_table_gate_) {
+    co_await ud_table_gate_->wait();
+  }
+
+  // Stop listeners first: close the receive queues, let the loops drain and
+  // exit, then tear down the QPs they were reading from.
+  hca().srq(rank_).close();
+  if (ud_qp_ != nullptr) {
+    ud_qp_->ud_recv().close();
+  }
+  co_await listeners_done_->wait();
+
+  // Let in-flight eviction drains (notice/ack sends on retired QPs) finish.
+  // This must come after the listeners exit: a disconnect notice processed
+  // moments before the queue closed can still spawn an ack task.
+  if (pending_evictions_ > 0) {
+    evictions_settled_ = std::make_unique<sim::Trigger>(engine());
+    while (pending_evictions_ > 0) {
+      co_await evictions_settled_->wait();
+    }
+  }
+
+  const fabric::FabricConfig& fcfg = job_.fabric().config();
+  if (bulk_connected_) {
+    std::uint64_t materialized = 0;
+    for (const auto& [rank, peer] : peers_) {
+      if (peer.qp != nullptr) ++materialized;
+    }
+    // Aggregate teardown cost of the never-materialized bulk connections,
+    // serialized on the HCA command queue like individual destroys.
+    sim::Time done = hca().reserve_command_window(
+        (bulk_endpoints_ - materialized) * fcfg.qp_destroy_cost);
+    co_await engine().delay(done - engine().now());
+  }
+  for (auto& [rank, peer] : peers_) {
+    if (peer.qp != nullptr) {
+      co_await hca().destroy_qp(peer.qp->qpn());
+      peer.qp = nullptr;
+    }
+  }
+  for (fabric::QueuePair* qp : retired_qps_) {
+    co_await hca().destroy_qp(qp->qpn());
+  }
+  retired_qps_.clear();
+  if (ud_qp_ != nullptr) {
+    co_await hca().destroy_qp(ud_qp_->qpn());
+    ud_qp_ = nullptr;
+  }
+}
+
+void Conduit::set_payload_hooks(PayloadProvider provider,
+                                PayloadConsumer consumer) {
+  payload_provider_ = std::move(provider);
+  payload_consumer_ = std::move(consumer);
+  if (!ready_gate_) {
+    ready_gate_ = std::make_unique<sim::Gate>(engine());
+  }
+}
+
+void Conduit::set_ready() {
+  if (ready_gate_) {
+    ready_gate_->open();
+  }
+}
+
+// ---- listeners ----
+
+sim::Task<> Conduit::ud_listener() {
+  // The "connection manager thread" of Fig. 4.
+  while (true) {
+    auto gram = co_await ud_qp_->ud_recv().pop_or_closed();
+    if (!gram) break;
+    co_await engine().delay(config().am_handler_overhead);
+    ConnectPacket packet = ConnectPacket::decode(gram->payload);
+    fabric::EndpointAddr reply_to{gram->src_lid, gram->src_qpn};
+    if (packet.type == UdMsgType::kConnectRequest) {
+      handle_conn_request(std::move(packet), reply_to);
+    } else {
+      handle_conn_reply(std::move(packet));
+    }
+  }
+  listeners_done_->finish();
+}
+
+sim::Task<> Conduit::srq_listener() {
+  sim::Mailbox<fabric::RcMessage>& srq = hca().srq(rank_);
+  while (true) {
+    auto message = co_await srq.pop_or_closed();
+    if (!message) break;
+    co_await engine().delay(config().am_handler_overhead);
+    co_await dispatch_am(AmPacket::decode(message->payload));
+  }
+  listeners_done_->finish();
+}
+
+sim::Task<> Conduit::dispatch_am(AmPacket packet) {
+  stats_.add("am_received");
+  switch (packet.handler) {
+    case 0: {  // barrier arrive
+      wire::Reader reader(packet.payload);
+      handle_barrier_arrive(packet.src_rank, reader.read_int<std::uint32_t>());
+      co_return;
+    }
+    case 1: {  // barrier release
+      wire::Reader reader(packet.payload);
+      handle_barrier_release(reader.read_int<std::uint32_t>());
+      co_return;
+    }
+    case 2:  // disconnect notice (adaptive connection management)
+      handle_disconnect_notice(packet.src_rank);
+      co_return;
+    case 3:  // disconnect ack
+      handle_disconnect_ack(packet.src_rank);
+      co_return;
+    case 4: {  // ring-bootstrap table entry
+      wire::Reader reader(packet.payload);
+      RingEntry entry;
+      entry.rank = reader.read_int<std::uint32_t>();
+      entry.addr.lid = reader.read_int<std::uint16_t>();
+      entry.addr.qpn = reader.read_int<std::uint32_t>();
+      ring_entries_->push(entry);
+      co_return;
+    }
+    default:
+      break;
+  }
+  auto it = handlers_.find(packet.handler);
+  if (it == handlers_.end()) {
+    throw std::runtime_error("Conduit: AM for unregistered handler " +
+                             std::to_string(packet.handler));
+  }
+  // User handlers run as their own tasks so a handler that suspends cannot
+  // stall the progress loop.
+  engine().spawn(it->second(packet.src_rank, std::move(packet.payload)));
+}
+
+// ---- active messages ----
+
+void Conduit::register_handler(std::uint16_t id, AmHandler handler) {
+  if (id < kFirstUserHandler) {
+    throw std::logic_error("Conduit::register_handler: id reserved");
+  }
+  if (!handlers_.emplace(id, std::move(handler)).second) {
+    throw std::logic_error("Conduit::register_handler: duplicate id");
+  }
+}
+
+sim::Task<> Conduit::am_send(RankId dst, std::uint16_t handler,
+                             std::vector<std::byte> payload) {
+  fabric::QueuePair* qp = co_await connected_qp(dst);
+  AmPacket packet{handler, rank_, std::move(payload)};
+  fabric::Completion wc = co_await qp->send(packet.encode());
+  if (!wc.ok()) {
+    throw std::runtime_error("Conduit::am_send: send failed");
+  }
+  stats_.add("am_sent");
+}
+
+// ---- RMA ----
+
+sim::Task<fabric::QueuePair*> Conduit::connected_qp(RankId dst) {
+  if (dst >= size()) {
+    throw std::out_of_range("Conduit::connected_qp: bad rank");
+  }
+  co_await ensure_connected(dst);
+  Peer& p = peer(dst);
+  p.last_used = engine().now();  // LRU clock for adaptive eviction
+  co_return p.qp;
+}
+
+sim::Task<fabric::Completion> Conduit::put(RankId dst, fabric::VirtAddr raddr,
+                                           fabric::RKey rkey,
+                                           std::vector<std::byte> data) {
+  fabric::QueuePair* qp = co_await connected_qp(dst);
+  stats_.add("rma_put");
+  co_return co_await qp->rdma_write(raddr, rkey, std::move(data));
+}
+
+sim::Task<fabric::Completion> Conduit::get(RankId dst, fabric::VirtAddr raddr,
+                                           fabric::RKey rkey,
+                                           std::span<std::byte> dest) {
+  fabric::QueuePair* qp = co_await connected_qp(dst);
+  stats_.add("rma_get");
+  co_return co_await qp->rdma_read(raddr, rkey, dest);
+}
+
+sim::Task<fabric::Completion> Conduit::atomic_fetch_add(
+    RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
+    std::uint64_t add) {
+  fabric::QueuePair* qp = co_await connected_qp(dst);
+  stats_.add("rma_atomic");
+  co_return co_await qp->fetch_add(raddr, rkey, add);
+}
+
+sim::Task<fabric::Completion> Conduit::atomic_compare_swap(
+    RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
+    std::uint64_t expect, std::uint64_t desired) {
+  fabric::QueuePair* qp = co_await connected_qp(dst);
+  stats_.add("rma_atomic");
+  co_return co_await qp->compare_swap(raddr, rkey, expect, desired);
+}
+
+sim::Task<fabric::Completion> Conduit::atomic_swap(RankId dst,
+                                                   fabric::VirtAddr raddr,
+                                                   fabric::RKey rkey,
+                                                   std::uint64_t value) {
+  fabric::QueuePair* qp = co_await connected_qp(dst);
+  stats_.add("rma_atomic");
+  co_return co_await qp->swap(raddr, rkey, value);
+}
+
+// ---- PMI endpoint publication ----
+
+sim::Task<> Conduit::publish_ud_endpoint() {
+  std::string value = encode_endpoint(ud_qp_->addr());
+  if (config().pmi_mode == PmiMode::kBlocking) {
+    co_await pmi().put(kUdKeyPrefix + std::to_string(rank_),
+                       std::move(value));
+    co_await pmi().fence();
+  } else if (config().pmi_mode == PmiMode::kRing) {
+    // PMIX_Ring bootstrap: constant-cost out-of-band exchange of the ring
+    // neighbors' endpoints, then the full table travels over InfiniBand.
+    auto [left, right] = co_await pmi().ring(std::move(value));
+    ud_table_.assign(size(), std::nullopt);
+    ud_table_[rank_] = ud_qp_->addr();
+    ud_table_[(rank_ + size() - 1) % size()] = decode_endpoint(left);
+    ud_table_[(rank_ + 1) % size()] = decode_endpoint(right);
+    ud_table_gate_ = std::make_unique<sim::Gate>(engine());
+    ring_entries_ = std::make_unique<sim::Mailbox<RingEntry>>(engine());
+    engine().spawn(ring_distribute());
+  } else {
+    // PMIX_Iallgather: launched here, waited on at first communication
+    // (paper §IV-D). Launching is effectively free.
+    ud_ticket_ = pmi().iallgather_start(std::move(value));
+  }
+}
+
+sim::Task<> Conduit::ring_distribute() {
+  const std::uint32_t n = size();
+  if (n <= 2) {
+    // Neighbors cover the whole job already.
+    ud_table_gate_->open();
+    co_return;
+  }
+  RankId right = (rank_ + 1) % n;
+  RingEntry current{rank_, *ud_table_[rank_]};
+  for (std::uint32_t step = 0; step + 1 < n; ++step) {
+    std::vector<std::byte> payload;
+    wire::put_int<std::uint32_t>(payload, current.rank);
+    wire::put_int<std::uint16_t>(payload, current.addr.lid);
+    wire::put_int<std::uint32_t>(payload, current.addr.qpn);
+    co_await am_send(right, /*handler=*/4, std::move(payload));
+    current = co_await ring_entries_->pop();
+    ud_table_[current.rank] = current.addr;
+  }
+  stats_.add("ring_bootstrap_hops", n - 1);
+  ud_table_gate_->open();
+}
+
+sim::Task<fabric::EndpointAddr> Conduit::resolve_ud(RankId dst) {
+  if (ud_table_.empty()) {
+    ud_table_.resize(size());
+  }
+  if (ud_table_[dst]) {
+    co_return *ud_table_[dst];
+  }
+  sim::PhaseTimer timer(engine(), stats_, "pmi_wait");
+  if (config().pmi_mode == PmiMode::kRing) {
+    // The ring dissemination fills the table in the background; wait for
+    // completion (first-communication semantics, like PMIX_Wait).
+    co_await ud_table_gate_->wait();
+    co_return *ud_table_[dst];
+  }
+  if (config().pmi_mode == PmiMode::kNonBlocking) {
+    if (ud_resolving_) {
+      co_await ud_table_gate_->wait();
+    } else {
+      ud_resolving_ = true;
+      ud_table_gate_ = std::make_unique<sim::Gate>(engine());
+      std::vector<std::string> values =
+          co_await pmi().iallgather_wait(*ud_ticket_);
+      for (RankId r = 0; r < values.size(); ++r) {
+        ud_table_[r] = decode_endpoint(values[r]);
+      }
+      ud_table_gate_->open();
+    }
+    co_return *ud_table_[dst];
+  }
+  auto value = co_await pmi().get(kUdKeyPrefix + std::to_string(dst));
+  if (!value) {
+    throw std::runtime_error("Conduit::resolve_ud: endpoint not published");
+  }
+  ud_table_[dst] = decode_endpoint(*value);
+  co_return *ud_table_[dst];
+}
+
+// ---- accounting ----
+
+Conduit::Peer& Conduit::peer(RankId rank) { return peers_[rank]; }
+
+std::uint64_t Conduit::connected_peer_count() const {
+  if (bulk_connected_) {
+    return size();
+  }
+  std::uint64_t count = 0;
+  for (const auto& [rank, peer] : peers_) {
+    if (peer.phase == Peer::Phase::kConnected) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Conduit::endpoints_created() const {
+  return static_cast<std::uint64_t>(stats_.counter("qp_created_rc") +
+                                    stats_.counter("qp_created_ud"));
+}
+
+}  // namespace odcm::core

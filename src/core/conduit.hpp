@@ -1,0 +1,342 @@
+// The conduit: active messages, RMA, and — the paper's contribution —
+// on-demand connection management with piggybacked upper-layer payloads.
+//
+// One `Conduit` per PE, playing the role GASNet's ibv/mvapich2x conduits
+// play under OpenSHMEM. The `ConduitJob` owns the shared substrates (fabric,
+// PMI job manager) and the per-node structures (intra-node barriers).
+//
+// Connection establishment (on-demand mode) follows Fig. 4 of the paper:
+//
+//   client                                server
+//   ------                                ------
+//   create RC QP (RESET→INIT)
+//   ConnectRequest(lid, qpn, payload) --->
+//                                         create RC QP (RESET→INIT)
+//                                         set_remote; INIT→RTR→RTS
+//                                         consume payload
+//   <--- ConnectReply(lid, qpn, payload)
+//   set_remote; INIT→RTR→RTS
+//   consume payload
+//
+// The request travels over UD, so the client retransmits on timeout; the
+// server dedupes by peer state and re-sends a cached reply when the reply
+// itself was lost. Simultaneous requests (collision) resolve
+// deterministically: the request from the lower-ranked PE is served, the
+// higher-ranked PE's own attempt is absorbed into its server role.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/wire.hpp"
+#include "fabric/fabric.hpp"
+#include "pmi/pmi.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+
+namespace odcm::core {
+
+using fabric::NodeId;
+using fabric::RankId;
+
+class ConduitJob;
+
+/// Handler invoked for each received active message. Handlers may suspend;
+/// each invocation runs as its own task.
+using AmHandler =
+    std::function<sim::Task<>(RankId src, std::vector<std::byte> payload)>;
+
+/// Provider of the opaque payload appended to connection request/reply
+/// packets (OpenSHMEM: serialized segment triplets, §IV-C).
+using PayloadProvider = std::function<std::vector<std::byte>()>;
+/// Consumer of the peer's piggybacked payload.
+using PayloadConsumer =
+    std::function<void(RankId peer, std::span<const std::byte> payload)>;
+
+/// First active-message handler id available to upper layers; smaller ids
+/// are reserved for conduit-internal protocols (barrier).
+inline constexpr std::uint16_t kFirstUserHandler = 16;
+
+class Conduit {
+ public:
+  Conduit(ConduitJob& job, RankId rank);
+  ~Conduit();
+  Conduit(const Conduit&) = delete;
+  Conduit& operator=(const Conduit&) = delete;
+
+  [[nodiscard]] RankId rank() const noexcept { return rank_; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint32_t size() const noexcept;
+  [[nodiscard]] ConduitJob& job() noexcept { return job_; }
+  [[nodiscard]] const ConduitConfig& config() const noexcept;
+  [[nodiscard]] fabric::Hca& hca();
+  [[nodiscard]] pmi::PmiClient& pmi();
+  [[nodiscard]] sim::Engine& engine();
+
+  // ---- lifecycle ----
+
+  /// Bring up the conduit according to the configured connection/PMI mode.
+  /// Static mode connects to every peer here; on-demand mode only creates
+  /// the UD endpoint and publishes it.
+  [[nodiscard]] sim::Task<> init();
+
+  /// Tear down connections (charging QP destruction) and stop listeners.
+  /// Must run after every PE finished application communication.
+  [[nodiscard]] sim::Task<> finalize();
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+  // ---- connection-payload hooks (§IV-C) ----
+
+  /// Install the opaque payload provider/consumer used on connection
+  /// packets. Must be called before communication with a peer.
+  void set_payload_hooks(PayloadProvider provider, PayloadConsumer consumer);
+
+  /// Declare the upper layer ready to serve incoming connections (its
+  /// segments are registered). Until then incoming requests are held
+  /// (paper §IV-E: the reply is delayed, the client retransmits).
+  void set_ready();
+
+  // ---- active messages (core API) ----
+
+  /// Register `handler` under `id` (>= kFirstUserHandler).
+  void register_handler(std::uint16_t id, AmHandler handler);
+
+  /// Send an active message; establishes the connection on demand.
+  [[nodiscard]] sim::Task<> am_send(RankId dst, std::uint16_t handler,
+                                    std::vector<std::byte> payload);
+
+  // ---- RMA (extended API) ----
+
+  /// RC QP connected to `dst`, establishing the connection if needed.
+  [[nodiscard]] sim::Task<fabric::QueuePair*> connected_qp(RankId dst);
+
+  [[nodiscard]] sim::Task<fabric::Completion> put(
+      RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
+      std::vector<std::byte> data);
+  [[nodiscard]] sim::Task<fabric::Completion> get(RankId dst,
+                                                  fabric::VirtAddr raddr,
+                                                  fabric::RKey rkey,
+                                                  std::span<std::byte> dest);
+  [[nodiscard]] sim::Task<fabric::Completion> atomic_fetch_add(
+      RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
+      std::uint64_t add);
+  [[nodiscard]] sim::Task<fabric::Completion> atomic_compare_swap(
+      RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
+      std::uint64_t expect, std::uint64_t desired);
+  [[nodiscard]] sim::Task<fabric::Completion> atomic_swap(
+      RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
+      std::uint64_t value);
+
+  // ---- barriers ----
+
+  /// Tree barrier over active messages across all PEs (forces O(fanout)
+  /// connections per PE in on-demand mode).
+  [[nodiscard]] sim::Task<> barrier_global();
+
+  /// Shared-memory barrier among the PEs of this node (§IV-E).
+  [[nodiscard]] sim::Task<> barrier_intranode();
+
+  /// The barrier used during initialization, per `init_barrier_mode`.
+  [[nodiscard]] sim::Task<> barrier_init();
+
+  // ---- accounting (Figs 1, 5, 9; Table I) ----
+
+  [[nodiscard]] sim::StatSet& stats() noexcept { return stats_; }
+  /// Number of peers this PE holds an established connection to.
+  [[nodiscard]] std::uint64_t connected_peer_count() const;
+  /// IB endpoints (QPs) this PE created, including bulk-modeled ones.
+  [[nodiscard]] std::uint64_t endpoints_created() const;
+
+ private:
+  friend class ConduitJob;
+
+  struct Peer {
+    enum class Role : std::uint8_t { kNone, kClient, kServer, kStatic };
+    enum class Phase : std::uint8_t {
+      kIdle,
+      kRequesting,     // client: request sent, awaiting reply
+      kEstablishing,   // transitioning QP states
+      kConnected,
+      kDraining,       // we evicted this connection, awaiting the ack
+    };
+    Role role = Role::kNone;
+    Phase phase = Phase::kIdle;
+    fabric::QueuePair* qp = nullptr;
+    std::unique_ptr<sim::Gate> established{};
+    std::unique_ptr<sim::Gate> drained{};   // opened when the drain acks
+    std::vector<std::byte> cached_reply{};  // server: resent on dup request
+    fabric::EndpointAddr reply_to{};        // client's UD endpoint
+    sim::Time last_used = 0;                // LRU clock for eviction
+    /// The peer sent a disconnect notice while our side of the handshake
+    /// was still completing; honor it as soon as we reach kConnected.
+    bool remote_drain_pending = false;
+  };
+
+  Peer& peer(RankId rank);
+
+  /// Record a connection-protocol trace event (no-op unless the job tracer
+  /// is enabled).
+  void trace(std::string_view category, std::string text);
+
+  // Listener loops (detached root tasks).
+  sim::Task<> ud_listener();
+  sim::Task<> srq_listener();
+
+  // Connection protocol.
+  [[nodiscard]] sim::Task<> ensure_connected(RankId dst);
+  sim::Task<> client_connect(RankId dst);
+  sim::Task<> self_connect();
+  void handle_conn_request(ConnectPacket packet,
+                           fabric::EndpointAddr reply_to);
+  sim::Task<> serve_request(RankId src, fabric::EndpointAddr client_addr,
+                            std::vector<std::byte> payload,
+                            fabric::EndpointAddr reply_to, bool collision);
+  void handle_conn_reply(ConnectPacket packet);
+  sim::Task<> finish_client(RankId src, fabric::EndpointAddr server_addr,
+                            std::vector<std::byte> payload);
+  static void open_established(sim::Engine& engine, Peer& peer);
+
+  // UD endpoint resolution through PMI.
+  sim::Task<> publish_ud_endpoint();
+  sim::Task<fabric::EndpointAddr> resolve_ud(RankId dst);
+  /// Ring bootstrap: forward the UD endpoint table around the IB ring
+  /// (N-1 hops over the RC connection to the right neighbor).
+  sim::Task<> ring_distribute();
+  struct RingEntry {
+    RankId rank;
+    fabric::EndpointAddr addr;
+  };
+
+  // Adaptive connection management (eviction).
+  [[nodiscard]] std::uint64_t active_connection_count() const;
+  void maybe_evict(RankId just_connected);
+  sim::Task<> evict_connection(RankId victim);
+  void retire_qp(Peer& peer);
+  void handle_disconnect_notice(RankId src);
+  void handle_disconnect_ack(RankId src);
+  /// Retire our side and ack the peer's eviction notice.
+  void perform_passive_drain(RankId src);
+  /// Post-establishment bookkeeping shared by client/server completion:
+  /// honor a deferred remote drain, else run the eviction policy.
+  void after_established(RankId src);
+
+  // Static mesh setup.
+  sim::Task<> static_connect_all();
+  sim::Task<> static_connect_bulk();
+  /// Materialize a bulk-modeled connection into real QPs on first use.
+  fabric::QueuePair* materialize_bulk(RankId dst);
+
+  // AM dispatch.
+  sim::Task<> dispatch_am(AmPacket packet);
+  void handle_barrier_arrive(RankId src, std::uint32_t round);
+  void handle_barrier_release(std::uint32_t round);
+
+  struct BarrierRound {
+    explicit BarrierRound(sim::Engine& engine)
+        : arrivals(engine), release(engine) {}
+    sim::Gate arrivals;
+    sim::Gate release;
+    std::uint32_t arrived = 0;
+  };
+  BarrierRound& barrier_round(std::uint32_t round);
+
+  ConduitJob& job_;
+  RankId rank_;
+  NodeId node_;
+  bool initialized_ = false;
+  bool finalized_ = false;
+
+  fabric::QueuePair* ud_qp_ = nullptr;
+  // std::map: stable references across inserts AND deterministic iteration
+  // order (finalize tears connections down in rank order).
+  std::map<RankId, Peer> peers_{};
+  bool bulk_connected_ = false;  // static bulk model in effect
+  std::uint64_t bulk_endpoints_ = 0;
+
+  PayloadProvider payload_provider_{};
+  PayloadConsumer payload_consumer_{};
+  std::unique_ptr<sim::Gate> ready_gate_{};
+
+  // UD endpoint table (filled from PMI).
+  std::vector<std::optional<fabric::EndpointAddr>> ud_table_{};
+  std::optional<pmi::CollectiveTicket> ud_ticket_{};
+  std::unique_ptr<sim::Gate> ud_table_gate_{};
+  bool ud_resolving_ = false;
+  std::unique_ptr<sim::Mailbox<RingEntry>> ring_entries_{};
+
+  std::map<std::uint16_t, AmHandler> handlers_{};
+  // QPs of evicted connections: kept alive (deactivated) so in-flight
+  // traffic stays safe, destroyed at finalize. Mirrors how real runtimes
+  // defer QP destruction out of the critical path.
+  std::vector<fabric::QueuePair*> retired_qps_{};
+  std::uint32_t barrier_next_round_ = 0;
+  std::map<std::uint32_t, std::unique_ptr<BarrierRound>> barrier_rounds_{};
+
+  std::unique_ptr<sim::JoinCounter> listeners_done_{};
+  std::uint32_t listener_count_ = 0;
+  std::uint64_t pending_evictions_ = 0;
+  std::unique_ptr<sim::Trigger> evictions_settled_{};
+
+  sim::StatSet stats_{};
+};
+
+/// A whole simulated job: fabric + PMI + one conduit per PE.
+class ConduitJob {
+ public:
+  ConduitJob(sim::Engine& engine, JobConfig config);
+  ConduitJob(const ConduitJob&) = delete;
+  ConduitJob& operator=(const ConduitJob&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const JobConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint32_t ranks() const noexcept { return config_.ranks; }
+  [[nodiscard]] NodeId node_of(RankId rank) const;
+  /// Number of PEs on the given node (the last node may be partial).
+  [[nodiscard]] std::uint32_t ranks_on_node(NodeId node) const;
+
+  [[nodiscard]] fabric::Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] pmi::JobManager& pmi() noexcept { return *pmi_; }
+  [[nodiscard]] Conduit& conduit(RankId rank);
+
+  /// Spawn `body` for every PE and orchestrate finalization: each PE's
+  /// conduit is finalized after all bodies completed. The caller then runs
+  /// the engine to completion.
+  void spawn_all(std::function<sim::Task<>(Conduit&)> body);
+
+  /// Aggregate stats over all conduits.
+  [[nodiscard]] sim::StatSet aggregate_stats() const;
+
+  /// Job-wide event tracer (disabled by default; enable before running to
+  /// capture the connection-protocol event stream).
+  [[nodiscard]] sim::Tracer& tracer() noexcept { return tracer_; }
+
+ private:
+  friend class Conduit;
+
+  struct NodeBarrier {
+    explicit NodeBarrier(sim::Engine& engine) : trigger(engine) {}
+    sim::Trigger trigger;
+    std::uint32_t arrived = 0;
+    std::uint64_t round = 0;
+  };
+
+  sim::Engine& engine_;
+  JobConfig config_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<pmi::JobManager> pmi_;
+  std::vector<std::unique_ptr<Conduit>> conduits_{};
+  std::vector<std::unique_ptr<NodeBarrier>> node_barriers_{};
+  sim::Tracer tracer_{};
+};
+
+}  // namespace odcm::core

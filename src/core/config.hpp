@@ -1,0 +1,103 @@
+// Configuration of the conduit layer — the knobs that select between the
+// paper's baseline ("current design") and its contribution ("proposed
+// design").
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/config.hpp"
+#include "pmi/pmi.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::core {
+
+/// How RC connections come into existence (paper §IV).
+enum class ConnectionMode : std::uint8_t {
+  /// Baseline: every PE creates N QPs and connects to every peer during
+  /// initialization (N^2 QPs job-wide).
+  kStatic,
+  /// Proposed: connections are established lazily at first communication
+  /// through the two-phase UD handshake of Fig. 4.
+  kOnDemand,
+};
+
+/// How the UD/RC endpoint information moves through PMI (paper §III-E).
+enum class PmiMode : std::uint8_t {
+  kBlocking,     ///< Put + Fence + Get.
+  kNonBlocking,  ///< PMIX_Iallgather launched at init, waited on first use.
+  /// PMIX_Ring bootstrap (authors' prior work, ref. [16], after Yu et
+  /// al.'s ring startup [30]): PMI hands each PE only its ring neighbors'
+  /// UD endpoints (constant out-of-band cost); the full table is then
+  /// disseminated over the InfiniBand ring in the background. On-demand
+  /// mode only; static mode falls back to the blocking exchange.
+  kRing,
+};
+
+/// Which barrier the runtime uses *during initialization* (paper §IV-E).
+enum class BarrierMode : std::uint8_t {
+  kGlobal,     ///< shmem_barrier_all across the whole job (baseline).
+  kIntraNode,  ///< shared-memory barrier among the PEs of each node.
+};
+
+struct ConduitConfig {
+  ConnectionMode connection_mode = ConnectionMode::kOnDemand;
+  PmiMode pmi_mode = PmiMode::kNonBlocking;
+  BarrierMode init_barrier_mode = BarrierMode::kIntraNode;
+
+  /// Client-side retransmission timeout for connection requests sent over
+  /// the unreliable datagram transport, and the retry budget.
+  sim::Time conn_rto = 500 * sim::usec;
+  std::uint32_t conn_max_retries = 64;
+
+  /// Fan-out of the AM-tree global barrier. Matches the reduction-tree
+  /// fan-out so the two collectives share connections (as unified runtimes
+  /// do), keeping Table I peer counts minimal.
+  std::uint32_t barrier_fanout = 4;
+
+  /// Above this job size the static connector charges the aggregate cost
+  /// of the full mesh analytically instead of simulating every handshake
+  /// (validated against the fully simulated path in tests; DESIGN.md §2).
+  std::uint32_t bulk_connect_threshold = 512;
+
+  /// Software dispatch cost per received active message.
+  sim::Time am_handler_overhead = 150 * sim::nsec;
+
+  /// Per-hop cost of the shared-memory intra-node barrier.
+  sim::Time intranode_barrier_hop = 300 * sim::nsec;
+
+  /// Adaptive connection management (Yu et al., IPDPS'06 — related work
+  /// the paper builds on): cap the number of live RC connections per PE;
+  /// exceeding it evicts the least-recently-used connection through a
+  /// graceful notice/ack drain, and a later message re-establishes it on
+  /// demand. 0 = unlimited (the paper's design). On-demand mode only.
+  std::uint32_t max_active_connections = 0;
+};
+
+/// Everything needed to stand up a simulated job.
+struct JobConfig {
+  std::uint32_t ranks = 2;
+  std::uint32_t ranks_per_node = 2;
+  ConduitConfig conduit{};
+  fabric::FabricConfig fabric{};  ///< `nodes` is derived from ranks/ppn.
+  pmi::PmiConfig pmi{};           ///< `ranks`/`ranks_per_node` are overwritten.
+};
+
+/// Convenience: the paper's baseline configuration.
+inline ConduitConfig current_design() {
+  ConduitConfig config;
+  config.connection_mode = ConnectionMode::kStatic;
+  config.pmi_mode = PmiMode::kBlocking;
+  config.init_barrier_mode = BarrierMode::kGlobal;
+  return config;
+}
+
+/// Convenience: the paper's proposed configuration.
+inline ConduitConfig proposed_design() {
+  ConduitConfig config;
+  config.connection_mode = ConnectionMode::kOnDemand;
+  config.pmi_mode = PmiMode::kNonBlocking;
+  config.init_barrier_mode = BarrierMode::kIntraNode;
+  return config;
+}
+
+}  // namespace odcm::core

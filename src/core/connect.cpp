@@ -1,0 +1,532 @@
+// Connection establishment: the on-demand two-phase UD handshake (Fig. 4)
+// with retransmission, duplicate suppression and collision resolution, plus
+// the baseline static all-to-all connector and its bulk aggregate model.
+#include <stdexcept>
+#include <utility>
+
+#include "core/conduit.hpp"
+
+namespace odcm::core {
+
+void Conduit::trace(std::string_view category, std::string text) {
+  sim::Tracer& tracer = job_.tracer();
+  if (tracer.enabled()) {
+    tracer.record(engine().now(), category, rank_, std::move(text));
+  }
+}
+
+void Conduit::open_established(sim::Engine& engine, Peer& peer) {
+  if (!peer.established) {
+    peer.established = std::make_unique<sim::Gate>(engine);
+  }
+  peer.established->open();
+}
+
+sim::Task<> Conduit::ensure_connected(RankId dst) {
+  while (true) {
+    Peer& p = peer(dst);
+    if (p.phase == Peer::Phase::kConnected) {
+      co_return;
+    }
+    if (bulk_connected_) {
+      (void)materialize_bulk(dst);
+      co_return;
+    }
+    if (config().connection_mode == ConnectionMode::kStatic) {
+      throw std::logic_error(
+          "Conduit: peer not connected in static mode (init not run?)");
+    }
+    if (p.phase == Peer::Phase::kDraining) {
+      // We evicted this connection and the drain has not acked yet; wait,
+      // then re-establish through the normal path.
+      co_await p.drained->wait();
+      continue;
+    }
+    if (dst == rank_) {
+      co_await self_connect();
+      continue;
+    }
+    if (!p.established) {
+      p.established = std::make_unique<sim::Gate>(engine());
+    }
+    if (p.phase == Peer::Phase::kIdle) {
+      p.phase = Peer::Phase::kRequesting;
+      p.role = Peer::Role::kClient;
+      engine().spawn(client_connect(dst));
+    }
+    co_await p.established->wait();
+  }
+}
+
+sim::Task<> Conduit::self_connect() {
+  Peer& p = peer(rank_);
+  if (p.phase == Peer::Phase::kConnected) {
+    co_return;
+  }
+  if (p.phase != Peer::Phase::kIdle) {
+    co_await p.established->wait();
+    co_return;
+  }
+  p.phase = Peer::Phase::kEstablishing;
+  p.role = Peer::Role::kClient;
+  if (!p.established) {
+    p.established = std::make_unique<sim::Gate>(engine());
+  }
+  fabric::QueuePair* qp =
+      co_await hca().create_qp(fabric::QpType::kRc, rank_);
+  stats_.add("qp_created_rc");
+  co_await qp->transition(fabric::QpState::kInit);
+  qp->set_remote(qp->addr());  // loopback
+  co_await qp->transition(fabric::QpState::kRtr);
+  co_await qp->transition(fabric::QpState::kRts);
+  p.qp = qp;
+  p.phase = Peer::Phase::kConnected;
+  stats_.add("connections_established");
+  p.established->open();
+  maybe_evict(rank_);  // self connections have no drain protocol
+}
+
+sim::Task<> Conduit::client_connect(RankId dst) {
+  Peer& p = peer(dst);
+  stats_.add("conn_requests_initiated");
+  trace("conn.initiate", "to " + std::to_string(dst));
+  fabric::EndpointAddr peer_ud = co_await resolve_ud(dst);
+  if (p.phase != Peer::Phase::kRequesting) {
+    // A collision takeover (we became the server) happened while we were
+    // resolving; the server path finishes the connection.
+    co_await p.established->wait();
+    co_return;
+  }
+  fabric::QueuePair* qp =
+      co_await hca().create_qp(fabric::QpType::kRc, rank_);
+  stats_.add("qp_created_rc");
+  co_await qp->transition(fabric::QpState::kInit);
+  if (p.phase != Peer::Phase::kRequesting) {
+    co_await hca().destroy_qp(qp->qpn());
+    co_await p.established->wait();
+    co_return;
+  }
+  p.qp = qp;
+
+  ConnectPacket request;
+  request.type = UdMsgType::kConnectRequest;
+  request.src_rank = rank_;
+  request.rc_addr = qp->addr();
+  if (payload_provider_) {
+    request.payload = payload_provider_();
+  }
+  std::vector<std::byte> encoded = request.encode();
+
+  std::uint32_t attempts = 0;
+  while (p.phase != Peer::Phase::kConnected) {
+    if (p.phase == Peer::Phase::kEstablishing) {
+      // Reply arrived (or a collision takeover is completing).
+      co_await p.established->wait();
+      break;
+    }
+    if (attempts > config().conn_max_retries) {
+      throw std::runtime_error(
+          "Conduit: connection retries exceeded to rank " +
+          std::to_string(dst));
+    }
+    if (attempts > 0) {
+      stats_.add("conn_retransmits");
+      trace("conn.retransmit",
+            "to " + std::to_string(dst) + " attempt " +
+                std::to_string(attempts));
+    }
+    ++attempts;
+    (void)co_await ud_qp_->send_ud(peer_ud.lid, peer_ud.qpn, encoded);
+    bool opened = co_await p.established->wait_for(config().conn_rto);
+    if (opened) break;
+  }
+}
+
+void Conduit::handle_conn_request(ConnectPacket packet,
+                                  fabric::EndpointAddr reply_to) {
+  RankId src = packet.src_rank;
+  Peer& p = peer(src);
+  switch (p.phase) {
+    case Peer::Phase::kConnected:
+      if (p.role == Peer::Role::kServer && !p.cached_reply.empty()) {
+        // Our reply was lost and the client retransmitted: resend it.
+        stats_.add("conn_reply_resends");
+        trace("conn.reply_resend", "to " + std::to_string(src));
+        sim::spawn_discard(engine(),
+                           ud_qp_->send_ud(p.reply_to.lid, p.reply_to.qpn,
+                                           p.cached_reply));
+      }
+      return;
+    case Peer::Phase::kRequesting:
+      // Collision: both sides initiated simultaneously. The request from
+      // the lower rank is served; the higher rank's own request is dropped
+      // by its peer and absorbed here.
+      if (src < rank_) {
+        p.phase = Peer::Phase::kEstablishing;
+        stats_.add("conn_collisions");
+        trace("conn.collision", "with " + std::to_string(src));
+        engine().spawn(serve_request(src, packet.rc_addr,
+                                     std::move(packet.payload), reply_to,
+                                     /*collision=*/true));
+      }
+      return;
+    case Peer::Phase::kEstablishing:
+      return;  // duplicate while the state machine is running
+    case Peer::Phase::kDraining:
+      // The peer processed our eviction notice and is already
+      // re-initiating; its request doubles as the drain ack.
+      p.phase = Peer::Phase::kEstablishing;
+      p.role = Peer::Role::kServer;
+      if (p.drained) p.drained->open();
+      engine().spawn(serve_request(src, packet.rc_addr,
+                                   std::move(packet.payload), reply_to,
+                                   /*collision=*/false));
+      return;
+    case Peer::Phase::kIdle:
+      p.phase = Peer::Phase::kEstablishing;
+      p.role = Peer::Role::kServer;
+      engine().spawn(serve_request(src, packet.rc_addr,
+                                   std::move(packet.payload), reply_to,
+                                   /*collision=*/false));
+      return;
+  }
+}
+
+sim::Task<> Conduit::serve_request(RankId src,
+                                   fabric::EndpointAddr client_addr,
+                                   std::vector<std::byte> payload,
+                                   fabric::EndpointAddr reply_to,
+                                   bool collision) {
+  Peer& p = peer(src);
+  // Paper §IV-E: a request can arrive before this PE finished registering
+  // its own segments; the reply is held until the upper layer is ready and
+  // the client's retransmission covers the delay.
+  if (ready_gate_ && !ready_gate_->is_open()) {
+    stats_.add("conn_requests_held");
+    trace("conn.held", "request from " + std::to_string(src));
+    co_await ready_gate_->wait();
+  }
+
+  fabric::QueuePair* qp = nullptr;
+  if (collision && p.qp != nullptr &&
+      p.qp->state() == fabric::QpState::kInit) {
+    qp = p.qp;  // reuse the QP our own client attempt created
+  } else {
+    qp = co_await hca().create_qp(fabric::QpType::kRc, rank_);
+    stats_.add("qp_created_rc");
+    co_await qp->transition(fabric::QpState::kInit);
+  }
+  qp->set_remote(client_addr);
+  co_await qp->transition(fabric::QpState::kRtr);
+  co_await qp->transition(fabric::QpState::kRts);
+  p.qp = qp;
+
+  if (payload_consumer_ && !payload.empty()) {
+    payload_consumer_(src, payload);
+  }
+
+  ConnectPacket reply;
+  reply.type = UdMsgType::kConnectReply;
+  reply.src_rank = rank_;
+  reply.rc_addr = qp->addr();
+  if (payload_provider_) {
+    reply.payload = payload_provider_();
+  }
+  p.cached_reply = reply.encode();
+  p.reply_to = reply_to;
+  p.role = Peer::Role::kServer;
+  p.phase = Peer::Phase::kConnected;
+  stats_.add("connections_established");
+  trace("conn.established", "server side with " + std::to_string(src));
+  (void)co_await ud_qp_->send_ud(reply_to.lid, reply_to.qpn, p.cached_reply);
+  open_established(engine(), p);
+  after_established(src);
+}
+
+void Conduit::handle_conn_reply(ConnectPacket packet) {
+  RankId src = packet.src_rank;
+  Peer& p = peer(src);
+  if (p.phase != Peer::Phase::kRequesting ||
+      p.role != Peer::Role::kClient || p.qp == nullptr) {
+    return;  // duplicate or stale reply
+  }
+  p.phase = Peer::Phase::kEstablishing;
+  engine().spawn(
+      finish_client(src, packet.rc_addr, std::move(packet.payload)));
+}
+
+sim::Task<> Conduit::finish_client(RankId src,
+                                   fabric::EndpointAddr server_addr,
+                                   std::vector<std::byte> payload) {
+  Peer& p = peer(src);
+  p.qp->set_remote(server_addr);
+  co_await p.qp->transition(fabric::QpState::kRtr);
+  co_await p.qp->transition(fabric::QpState::kRts);
+  if (payload_consumer_ && !payload.empty()) {
+    payload_consumer_(src, payload);
+  }
+  p.phase = Peer::Phase::kConnected;
+  stats_.add("connections_established");
+  trace("conn.established", "client side with " + std::to_string(src));
+  open_established(engine(), p);
+  after_established(src);
+}
+
+// ---- adaptive connection management (eviction) ----
+
+void Conduit::after_established(RankId src) {
+  Peer& p = peer(src);
+  if (p.remote_drain_pending) {
+    // The peer evicted this connection while our handshake was still in
+    // flight; honor the drain now that waiters have been released.
+    p.remote_drain_pending = false;
+    perform_passive_drain(src);
+    return;
+  }
+  maybe_evict(src);
+}
+
+std::uint64_t Conduit::active_connection_count() const {
+  std::uint64_t count = 0;
+  for (const auto& [rank, peer] : peers_) {
+    if (peer.phase == Peer::Phase::kConnected) ++count;
+  }
+  return count;
+}
+
+void Conduit::maybe_evict(RankId just_connected) {
+  const std::uint32_t cap = config().max_active_connections;
+  if (cap == 0 || config().connection_mode != ConnectionMode::kOnDemand) {
+    return;
+  }
+  while (active_connection_count() > cap) {
+    Peer* victim = nullptr;
+    RankId victim_rank = 0;
+    for (auto& [rank, candidate] : peers_) {
+      if (candidate.phase != Peer::Phase::kConnected) continue;
+      if (candidate.role == Peer::Role::kStatic) continue;
+      if (rank == just_connected) continue;
+      if (victim == nullptr || candidate.last_used < victim->last_used) {
+        victim = &candidate;
+        victim_rank = rank;
+      }
+    }
+    if (victim == nullptr) break;  // nothing evictable
+    victim->phase = Peer::Phase::kDraining;
+    victim->drained = std::make_unique<sim::Gate>(engine());
+    stats_.add("conn_evictions");
+    trace("conn.evict", "lru victim " + std::to_string(victim_rank));
+    ++pending_evictions_;
+    engine().spawn(evict_connection(victim_rank));
+  }
+}
+
+sim::Task<> Conduit::evict_connection(RankId victim) {
+  Peer& p = peer(victim);
+  fabric::QueuePair* qp = p.qp;
+  if (victim == rank_) {
+    // Self connection: no protocol needed.
+    retire_qp(p);
+    p.phase = Peer::Phase::kIdle;
+    p.drained->open();
+  } else {
+    // Notify the peer over the existing RC connection, then deactivate our
+    // side. The QP object survives (retired) so any in-flight traffic from
+    // the peer stays safe; its HCA context is reclaimed at finalize.
+    AmPacket notice{/*handler=*/2, rank_, {}};
+    (void)co_await qp->send(notice.encode());
+    retire_qp(p);
+  }
+  --pending_evictions_;
+  if (pending_evictions_ == 0 && evictions_settled_) {
+    evictions_settled_->notify_all();
+  }
+}
+
+void Conduit::retire_qp(Peer& peer) {
+  if (peer.qp != nullptr) {
+    retired_qps_.push_back(peer.qp);
+    peer.qp = nullptr;
+  }
+  peer.role = Peer::Role::kNone;
+  peer.cached_reply.clear();
+  peer.established.reset();
+}
+
+void Conduit::perform_passive_drain(RankId src) {
+  Peer& p = peer(src);
+  stats_.add("conn_evictions_passive");
+  trace("conn.evicted_by_peer", "peer " + std::to_string(src));
+  fabric::QueuePair* old = p.qp;
+  retire_qp(p);
+  p.phase = Peer::Phase::kIdle;
+  p.remote_drain_pending = false;
+  // Ack over the retired QP (still alive and RTS). Tracked like an
+  // eviction so finalize waits for the send to complete.
+  ++pending_evictions_;
+  engine().spawn([](Conduit& c, fabric::QueuePair* qp) -> sim::Task<> {
+    AmPacket ack{/*handler=*/3, c.rank_, {}};
+    (void)co_await qp->send(ack.encode());
+    --c.pending_evictions_;
+    if (c.pending_evictions_ == 0 && c.evictions_settled_) {
+      c.evictions_settled_->notify_all();
+    }
+  }(*this, old));
+}
+
+void Conduit::handle_disconnect_notice(RankId src) {
+  Peer& p = peer(src);
+  switch (p.phase) {
+    case Peer::Phase::kConnected:
+      perform_passive_drain(src);
+      return;
+    case Peer::Phase::kDraining:
+      // Symmetric eviction: both sides already retired their QPs.
+      p.phase = Peer::Phase::kIdle;
+      if (p.drained) p.drained->open();
+      return;
+    case Peer::Phase::kRequesting:
+    case Peer::Phase::kEstablishing:
+      // The notice outran our side of the handshake (the evictor finished
+      // first); honor it once the establishment completes.
+      p.remote_drain_pending = true;
+      return;
+    case Peer::Phase::kIdle:
+      return;  // stale notice from a previous connection epoch
+  }
+}
+
+void Conduit::handle_disconnect_ack(RankId src) {
+  Peer& p = peer(src);
+  if (p.phase == Peer::Phase::kDraining) {
+    p.phase = Peer::Phase::kIdle;
+    if (p.drained) p.drained->open();
+  }
+}
+
+// ---- static (baseline) connector ----
+
+sim::Task<> Conduit::static_connect_all() {
+  const std::uint32_t n = size();
+  std::vector<fabric::QueuePair*> qps(n, nullptr);
+  {
+    sim::PhaseTimer timer(engine(), stats_, "connection_setup");
+    for (RankId r = 0; r < n; ++r) {
+      qps[r] = co_await hca().create_qp(fabric::QpType::kRc, rank_);
+      co_await qps[r]->transition(fabric::QpState::kInit);
+    }
+    stats_.add("qp_created_rc", n);
+  }
+
+  // Publish <lid, qpn[0..n)> and fetch every peer's table.
+  std::vector<fabric::EndpointAddr> remote(n);
+  {
+    sim::PhaseTimer timer(engine(), stats_, "pmi_exchange");
+    std::string value(2 + 4 * static_cast<std::size_t>(n), '\0');
+    fabric::Lid lid = hca().lid();
+    std::memcpy(value.data(), &lid, 2);
+    for (RankId r = 0; r < n; ++r) {
+      fabric::Qpn qpn = qps[r]->qpn();
+      std::memcpy(value.data() + 2 + 4 * static_cast<std::size_t>(r), &qpn,
+                  4);
+    }
+    if (config().pmi_mode == PmiMode::kNonBlocking) {
+      pmi::CollectiveTicket ticket = pmi().iallgather_start(std::move(value));
+      std::vector<std::string> values = co_await pmi().iallgather_wait(ticket);
+      for (RankId r = 0; r < n; ++r) {
+        std::memcpy(&remote[r].lid, values[r].data(), 2);
+        std::memcpy(&remote[r].qpn,
+                    values[r].data() + 2 + 4 * static_cast<std::size_t>(rank_),
+                    4);
+      }
+    } else {
+      co_await pmi().put("odcm-rc:" + std::to_string(rank_), value);
+      co_await pmi().fence();
+      for (RankId r = 0; r < n; ++r) {
+        auto peer_value = co_await pmi().get("odcm-rc:" + std::to_string(r));
+        if (!peer_value) {
+          throw std::runtime_error("static connect: missing peer table");
+        }
+        std::memcpy(&remote[r].lid, peer_value->data(), 2);
+        std::memcpy(
+            &remote[r].qpn,
+            peer_value->data() + 2 + 4 * static_cast<std::size_t>(rank_), 4);
+      }
+    }
+  }
+
+  {
+    sim::PhaseTimer timer(engine(), stats_, "connection_setup");
+    for (RankId r = 0; r < n; ++r) {
+      qps[r]->set_remote(remote[r]);
+      co_await qps[r]->transition(fabric::QpState::kRtr);
+      co_await qps[r]->transition(fabric::QpState::kRts);
+      Peer& p = peer(r);
+      p.qp = qps[r];
+      p.role = Peer::Role::kStatic;
+      p.phase = Peer::Phase::kConnected;
+    }
+    stats_.add("connections_established", n);
+  }
+}
+
+sim::Task<> Conduit::static_connect_bulk() {
+  const std::uint32_t n = size();
+  const fabric::FabricConfig& fcfg = job_.fabric().config();
+  {
+    // Same per-connection constants as the fully simulated path, charged in
+    // aggregate (validated against the simulated path in tests).
+    sim::PhaseTimer timer(engine(), stats_, "connection_setup");
+    co_await engine().delay(
+        n * (fcfg.qp_create_cost + 3 * fcfg.qp_transition_cost));
+  }
+  {
+    sim::PhaseTimer timer(engine(), stats_, "pmi_exchange");
+    std::string value(2 + 4 * static_cast<std::size_t>(n), 'q');
+    if (config().pmi_mode == PmiMode::kNonBlocking) {
+      pmi::CollectiveTicket ticket = pmi().iallgather_start(std::move(value));
+      (void)co_await pmi().iallgather_wait(ticket);
+    } else {
+      co_await pmi().put("odcm-rc:" + std::to_string(rank_), value);
+      co_await pmi().fence();
+      co_await pmi().charge_gets(n, value.size());
+    }
+  }
+  bulk_connected_ = true;
+  bulk_endpoints_ = n;
+  stats_.add("qp_created_rc", n);
+  stats_.add("connections_established", n);
+}
+
+fabric::QueuePair* Conduit::materialize_bulk(RankId dst) {
+  Peer& p = peer(dst);
+  if (p.qp != nullptr) {
+    return p.qp;
+  }
+  fabric::QueuePair& mine = hca().materialize_qp(fabric::QpType::kRc, rank_);
+  if (dst == rank_) {
+    mine.set_remote(mine.addr());
+    mine.force_state(fabric::QpState::kRts);
+    p.qp = &mine;
+    p.role = Peer::Role::kStatic;
+    p.phase = Peer::Phase::kConnected;
+    return p.qp;
+  }
+  Conduit& other = job_.conduit(dst);
+  Peer& q = other.peer(rank_);
+  fabric::QueuePair& theirs =
+      other.hca().materialize_qp(fabric::QpType::kRc, dst);
+  mine.set_remote(theirs.addr());
+  theirs.set_remote(mine.addr());
+  mine.force_state(fabric::QpState::kRts);
+  theirs.force_state(fabric::QpState::kRts);
+  p.qp = &mine;
+  p.role = Peer::Role::kStatic;
+  p.phase = Peer::Phase::kConnected;
+  q.qp = &theirs;
+  q.role = Peer::Role::kStatic;
+  q.phase = Peer::Phase::kConnected;
+  return p.qp;
+}
+
+}  // namespace odcm::core

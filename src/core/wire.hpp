@@ -1,0 +1,159 @@
+// Wire formats for the conduit's control and active-message traffic.
+//
+// Connection packets follow Fig. 4 of the paper: the request and reply each
+// carry the sender's rank and the `<lid, qpn>` of its freshly created RC
+// endpoint, plus an opaque upper-layer payload (OpenSHMEM appends the
+// symmetric-heap `<address, size, rkey>` triplets here — §IV-C).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "fabric/types.hpp"
+
+namespace odcm::core {
+
+namespace wire {
+
+inline void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+template <typename T>
+void put_int(std::vector<std::byte>& out, T v) {
+  static_assert(std::is_integral_v<T>);
+  std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &v, sizeof(T));
+}
+
+inline void put_bytes(std::vector<std::byte>& out,
+                      std::span<const std::byte> data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+/// Sequential reader with bounds checking.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  T read_int() {
+    static_assert(std::is_integral_v<T>);
+    T v{};
+    require(sizeof(T));
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<std::byte> read_bytes(std::size_t n) {
+    require(n);
+    std::vector<std::byte> out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  std::vector<std::byte> read_rest() { return read_bytes(data_.size() - pos_); }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error("wire::Reader: truncated packet");
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wire
+
+/// Type tag of packets carried over the UD control channel.
+enum class UdMsgType : std::uint8_t {
+  kConnectRequest = 1,
+  kConnectReply = 2,
+};
+
+/// Connection request/reply (Fig. 4). `payload` is opaque to the conduit.
+struct ConnectPacket {
+  UdMsgType type = UdMsgType::kConnectRequest;
+  fabric::RankId src_rank = 0;
+  fabric::EndpointAddr rc_addr{};
+  std::vector<std::byte> payload{};
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    out.reserve(1 + 4 + 2 + 4 + 4 + payload.size());
+    wire::put_u8(out, static_cast<std::uint8_t>(type));
+    wire::put_int<std::uint32_t>(out, src_rank);
+    wire::put_int<std::uint16_t>(out, rc_addr.lid);
+    wire::put_int<std::uint32_t>(out, rc_addr.qpn);
+    wire::put_int<std::uint32_t>(out,
+                                 static_cast<std::uint32_t>(payload.size()));
+    wire::put_bytes(out, payload);
+    return out;
+  }
+
+  static ConnectPacket decode(std::span<const std::byte> data) {
+    wire::Reader reader(data);
+    ConnectPacket packet;
+    packet.type = static_cast<UdMsgType>(reader.read_int<std::uint8_t>());
+    packet.src_rank = reader.read_int<std::uint32_t>();
+    packet.rc_addr.lid = reader.read_int<std::uint16_t>();
+    packet.rc_addr.qpn = reader.read_int<std::uint32_t>();
+    auto payload_len = reader.read_int<std::uint32_t>();
+    packet.payload = reader.read_bytes(payload_len);
+    return packet;
+  }
+};
+
+/// Active message carried over an RC connection.
+struct AmPacket {
+  std::uint16_t handler = 0;
+  fabric::RankId src_rank = 0;
+  std::vector<std::byte> payload{};
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    out.reserve(2 + 4 + payload.size());
+    wire::put_int<std::uint16_t>(out, handler);
+    wire::put_int<std::uint32_t>(out, src_rank);
+    wire::put_bytes(out, payload);
+    return out;
+  }
+
+  static AmPacket decode(std::span<const std::byte> data) {
+    wire::Reader reader(data);
+    AmPacket packet;
+    packet.handler = reader.read_int<std::uint16_t>();
+    packet.src_rank = reader.read_int<std::uint32_t>();
+    packet.payload = reader.read_rest();
+    return packet;
+  }
+};
+
+/// Encoding of a UD endpoint address for the PMI key-value store.
+inline std::string encode_endpoint(fabric::EndpointAddr addr) {
+  std::string out(6, '\0');
+  std::memcpy(out.data(), &addr.lid, 2);
+  std::memcpy(out.data() + 2, &addr.qpn, 4);
+  return out;
+}
+
+inline fabric::EndpointAddr decode_endpoint(const std::string& data) {
+  if (data.size() != 6) {
+    throw std::runtime_error("decode_endpoint: bad length");
+  }
+  fabric::EndpointAddr addr;
+  std::memcpy(&addr.lid, data.data(), 2);
+  std::memcpy(&addr.qpn, data.data() + 2, 4);
+  return addr;
+}
+
+}  // namespace odcm::core

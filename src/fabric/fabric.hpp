@@ -1,0 +1,309 @@
+// Simulated InfiniBand fabric: HCAs, queue pairs, memory regions, switch.
+//
+// The object model mirrors verbs closely enough that the conduit above it is
+// structured like a real GASNet conduit:
+//
+//   Fabric                 — the switched network + all HCAs
+//   Hca                    — one per node; owns QPs, memory regions, SRQs
+//   QueuePair (RC)         — connect(lid,qpn), send / RDMA / atomics
+//   QueuePair (UD)         — send_ud(lid,qpn,payload), lossy receive queue
+//   MemoryRegion           — (addr, size, rkey) handle from registration
+//
+// Differences from real verbs, by design (documented in DESIGN.md):
+//   * operations return awaitable `Task<Completion>` instead of being polled
+//     from a separate send CQ (semantically equivalent, far easier to use
+//     from coroutines);
+//   * incoming RC SENDs are delivered to a per-PE shared receive queue (the
+//     SRQ design MVAPICH uses for scalability) instead of per-QP RQs;
+//   * lkey checking on local buffers is omitted; rkey checking on remote
+//     access is enforced and produces error completions like real hardware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fabric/address_space.hpp"
+#include "fabric/config.hpp"
+#include "fabric/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace odcm::fabric {
+
+class Fabric;
+class Hca;
+
+/// Handle returned by memory registration; `<addr, size, rkey>` is exactly
+/// the triplet OpenSHMEM exchanges between PEs (paper §IV-B).
+struct MemoryRegion {
+  VirtAddr addr = 0;
+  std::uint64_t size = 0;
+  RKey rkey = 0;
+};
+
+/// A simulated queue pair. Created through `Hca::create_qp`; owned by the
+/// HCA and destroyed through `Hca::destroy_qp`.
+class QueuePair {
+ public:
+  QueuePair(Hca& hca, Qpn qpn, QpType type, RankId owner);
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  [[nodiscard]] QpType type() const noexcept { return type_; }
+  [[nodiscard]] QpState state() const noexcept { return state_; }
+  [[nodiscard]] Qpn qpn() const noexcept { return qpn_; }
+  [[nodiscard]] RankId owner() const noexcept { return owner_; }
+  [[nodiscard]] Lid lid() const noexcept;
+  [[nodiscard]] EndpointAddr addr() const noexcept {
+    return EndpointAddr{lid(), qpn_};
+  }
+  [[nodiscard]] EndpointAddr remote() const noexcept { return remote_; }
+
+  /// Drive the verbs state machine one step (RESET→INIT→RTR→RTS). Charges
+  /// `qp_transition_cost` of virtual time and validates the order. For RC,
+  /// the transition to RTR requires `set_remote` to have been called.
+  /// Precondition violations throw immediately (before the task runs).
+  [[nodiscard]] sim::Task<> transition(QpState next);
+
+  /// Convenience: drive the QP from its current state to RTS, one
+  /// transition at a time.
+  [[nodiscard]] sim::Task<> to_rts();
+
+  /// Record the peer endpoint (the `<lid, qpn>` from the connection
+  /// request/reply). Must be called before the RTR transition on RC QPs.
+  void set_remote(EndpointAddr remote);
+
+  /// Move directly to the error state (no virtual-time cost).
+  void set_error() noexcept { state_ = QpState::kError; }
+
+  /// Force the QP into a state with no virtual-time cost and no order
+  /// checking. ONLY for the bulk static-connect model, where the aggregate
+  /// setup cost was already charged analytically (DESIGN.md §2).
+  void force_state(QpState state) noexcept { state_ = state; }
+
+  // ---- RC operations (state must be RTS) ----
+
+  /// Two-sided send; arrives in the target PE's shared receive queue.
+  [[nodiscard]] sim::Task<Completion> send(std::vector<std::byte> payload,
+                                           WrId wr_id = 0);
+
+  /// One-sided write of `data` to remote `(raddr, rkey)`.
+  [[nodiscard]] sim::Task<Completion> rdma_write(
+      VirtAddr raddr, RKey rkey, std::vector<std::byte> data, WrId wr_id = 0);
+
+  /// One-sided read of `dest.size()` bytes from remote `(raddr, rkey)`.
+  /// `dest` must stay valid until the returned task completes.
+  [[nodiscard]] sim::Task<Completion> rdma_read(VirtAddr raddr, RKey rkey,
+                                                std::span<std::byte> dest,
+                                                WrId wr_id = 0);
+
+  /// Atomic fetch-and-add on a remote 8-byte location; the prior value is
+  /// returned in `Completion::atomic_old`.
+  [[nodiscard]] sim::Task<Completion> fetch_add(VirtAddr raddr, RKey rkey,
+                                                std::uint64_t add,
+                                                WrId wr_id = 0);
+
+  /// Atomic compare-and-swap; swaps in `desired` iff the current value is
+  /// `expect`. Prior value returned in `Completion::atomic_old`.
+  [[nodiscard]] sim::Task<Completion> compare_swap(VirtAddr raddr, RKey rkey,
+                                                   std::uint64_t expect,
+                                                   std::uint64_t desired,
+                                                   WrId wr_id = 0);
+
+  /// Unconditional atomic swap (extended atomics). Prior value returned in
+  /// `Completion::atomic_old`.
+  [[nodiscard]] sim::Task<Completion> swap(VirtAddr raddr, RKey rkey,
+                                           std::uint64_t value,
+                                           WrId wr_id = 0);
+
+  // ---- UD operations (state must be RTS) ----
+
+  /// Unreliable datagram to `(dlid, dqpn)`. May be dropped or duplicated
+  /// per the fabric configuration. Completion signals local send done.
+  [[nodiscard]] sim::Task<Completion> send_ud(Lid dlid, Qpn dqpn,
+                                              std::vector<std::byte> payload,
+                                              WrId wr_id = 0);
+
+  /// Receive queue of a UD QP.
+  [[nodiscard]] sim::Mailbox<UdDatagram>& ud_recv();
+
+  /// Number of posted-but-incomplete operations on this QP.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return outstanding_;
+  }
+
+ private:
+  friend class Hca;
+
+  void require_state(QpState expected, const char* op) const;
+  void require_type(QpType expected, const char* op) const;
+
+  // Coroutine bodies behind the eagerly-validating public entry points.
+  sim::Task<> transition_impl(QpState next);
+  sim::Task<Completion> send_impl(std::vector<std::byte> payload, WrId wr_id);
+  sim::Task<Completion> rdma_write_impl(VirtAddr raddr, RKey rkey,
+                                        std::vector<std::byte> data,
+                                        WrId wr_id);
+  sim::Task<Completion> rdma_read_impl(VirtAddr raddr, RKey rkey,
+                                       std::span<std::byte> dest, WrId wr_id);
+  sim::Task<Completion> fetch_add_impl(VirtAddr raddr, RKey rkey,
+                                       std::uint64_t add, WrId wr_id);
+  sim::Task<Completion> compare_swap_impl(VirtAddr raddr, RKey rkey,
+                                          std::uint64_t expect,
+                                          std::uint64_t desired, WrId wr_id);
+  sim::Task<Completion> swap_impl(VirtAddr raddr, RKey rkey,
+                                  std::uint64_t value, WrId wr_id);
+  sim::Task<Completion> send_ud_impl(Lid dlid, Qpn dqpn,
+                                     std::vector<std::byte> payload,
+                                     WrId wr_id);
+  /// Resolve a remote (raddr, rkey) at the connected peer HCA.
+  std::optional<std::span<std::byte>> resolve_remote(VirtAddr raddr, RKey rkey,
+                                                     std::size_t len);
+  /// Reserve an injection slot and compute in-order arrival time.
+  sim::Time schedule_arrival(std::size_t bytes);
+  Completion finish(WrId wr_id, WcOpcode opcode, WcStatus status,
+                    std::uint32_t byte_len, std::uint64_t atomic_old = 0);
+
+  Hca& hca_;
+  Qpn qpn_;
+  QpType type_;
+  RankId owner_;
+  QpState state_ = QpState::kReset;
+  EndpointAddr remote_{};
+  sim::Time last_arrival_ = 0;
+  std::size_t outstanding_ = 0;
+  std::unique_ptr<sim::Mailbox<UdDatagram>> ud_recv_{};
+};
+
+/// One host channel adapter per node. Owns queue pairs, the registered-
+/// memory table and the per-PE shared receive queues.
+class Hca {
+ public:
+  Hca(Fabric& fabric, NodeId node, Lid lid);
+  Hca(const Hca&) = delete;
+  Hca& operator=(const Hca&) = delete;
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] Lid lid() const noexcept { return lid_; }
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+
+  /// Register a PE living on this node; creates its shared receive queue.
+  void attach_pe(RankId rank);
+
+  /// Create a queue pair (charges `qp_create_cost`). The QP starts in the
+  /// RESET state.
+  [[nodiscard]] sim::Task<QueuePair*> create_qp(QpType type, RankId owner);
+
+  /// Destroy a queue pair (charges `qp_destroy_cost`).
+  [[nodiscard]] sim::Task<> destroy_qp(Qpn qpn);
+
+  /// Create a queue pair with no virtual-time cost. ONLY for the bulk
+  /// static-connect model whose aggregate cost was charged analytically.
+  QueuePair& materialize_qp(QpType type, RankId owner);
+
+  [[nodiscard]] QueuePair* find_qp(Qpn qpn) noexcept;
+
+  /// Register `[start, start+len)` of `space` (charges registration cost
+  /// proportional to the page count). Returns the `<addr, size, rkey>`
+  /// triplet. `space` must outlive the registration.
+  [[nodiscard]] sim::Task<MemoryRegion> register_memory(AddressSpace& space,
+                                                        VirtAddr start,
+                                                        std::uint64_t len);
+
+  void deregister_memory(RKey rkey);
+
+  /// Resolve a remote-access request against the registration table.
+  std::optional<std::span<std::byte>> resolve(VirtAddr raddr, RKey rkey,
+                                              std::size_t len);
+
+  /// Shared receive queue for the given PE (RC SEND delivery).
+  [[nodiscard]] sim::Mailbox<RcMessage>& srq(RankId rank);
+
+  /// Reserve the next injection slot on this HCA's port; returns the time
+  /// the message actually leaves (models the NIC message-rate limit).
+  sim::Time reserve_injection_slot();
+
+  /// Reserve `busy` time on the HCA's firmware command queue (shared by all
+  /// PEs on the node); returns the completion time. QP destruction goes
+  /// through this queue, which is why tearing down a fully connected mesh
+  /// is expensive at scale (paper §I point 1).
+  sim::Time reserve_command_window(sim::Time busy);
+
+  /// Extra per-operation latency when the QP context working set exceeds
+  /// the on-HCA cache (paper §I, point 3).
+  [[nodiscard]] sim::Time cache_penalty() const noexcept;
+
+  // ---- resource accounting (Fig 9) ----
+  [[nodiscard]] std::uint64_t qps_created() const noexcept {
+    return qps_created_;
+  }
+  [[nodiscard]] std::uint64_t qps_active() const noexcept {
+    return qps_.size();
+  }
+  [[nodiscard]] std::uint64_t regions_active() const noexcept {
+    return regions_.size();
+  }
+
+ private:
+  struct Region {
+    AddressSpace* space;
+    VirtAddr start;
+    std::uint64_t len;
+  };
+
+  sim::Task<> destroy_qp_impl(Qpn qpn);
+  sim::Task<MemoryRegion> register_memory_impl(AddressSpace& space,
+                                               VirtAddr start,
+                                               std::uint64_t len);
+
+  Fabric& fabric_;
+  NodeId node_;
+  Lid lid_;
+  Qpn next_qpn_ = 1;
+  RKey next_rkey_ = 1;
+  std::uint64_t qps_created_ = 0;
+  sim::Time next_injection_ = 0;
+  sim::Time command_free_ = 0;
+  std::map<Qpn, std::unique_ptr<QueuePair>> qps_{};
+  std::map<RKey, Region> regions_{};
+  std::map<RankId, std::unique_ptr<sim::Mailbox<RcMessage>>> srqs_{};
+};
+
+/// The whole simulated network: one HCA per node plus the switch model.
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, FabricConfig config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+
+  [[nodiscard]] Hca& hca(NodeId node);
+  [[nodiscard]] Hca& hca_by_lid(Lid lid);
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return config_.nodes;
+  }
+
+  /// One-way message latency between two HCAs for `bytes` of payload.
+  [[nodiscard]] sim::Time transfer_latency(Lid src, Lid dst,
+                                           std::size_t bytes) const;
+
+  /// Job-wide QP count (diagnostics / Fig 9 aggregation).
+  [[nodiscard]] std::uint64_t total_qps_created() const;
+
+ private:
+  sim::Engine& engine_;
+  FabricConfig config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Hca>> hcas_{};
+};
+
+}  // namespace odcm::fabric

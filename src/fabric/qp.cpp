@@ -1,0 +1,442 @@
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "fabric/fabric.hpp"
+
+namespace odcm::fabric {
+
+namespace {
+
+/// Validate a verbs state transition.
+bool valid_transition(QpState from, QpState to) {
+  switch (to) {
+    case QpState::kInit:
+      return from == QpState::kReset;
+    case QpState::kRtr:
+      return from == QpState::kInit;
+    case QpState::kRts:
+      return from == QpState::kRtr;
+    case QpState::kReset:
+    case QpState::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t load_u64(std::span<const std::byte> window) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, window.data(), sizeof(value));
+  return value;
+}
+
+void store_u64(std::span<std::byte> window, std::uint64_t value) {
+  std::memcpy(window.data(), &value, sizeof(value));
+}
+
+struct AtomicResult {
+  WcStatus status = WcStatus::kSuccess;
+  std::uint64_t old_value = 0;
+};
+
+}  // namespace
+
+QueuePair::QueuePair(Hca& hca, Qpn qpn, QpType type, RankId owner)
+    : hca_(hca), qpn_(qpn), type_(type), owner_(owner) {
+  if (type_ == QpType::kUd) {
+    ud_recv_ =
+        std::make_unique<sim::Mailbox<UdDatagram>>(hca_.fabric().engine());
+  }
+}
+
+Lid QueuePair::lid() const noexcept { return hca_.lid(); }
+
+void QueuePair::require_state(QpState expected, const char* op) const {
+  if (state_ != expected) {
+    throw std::logic_error(std::string("QueuePair: ") + op +
+                           " requires QP state " +
+                           std::to_string(static_cast<int>(expected)) +
+                           ", current state " +
+                           std::to_string(static_cast<int>(state_)));
+  }
+}
+
+void QueuePair::require_type(QpType expected, const char* op) const {
+  if (type_ != expected) {
+    throw std::logic_error(std::string("QueuePair: ") + op +
+                           " called on wrong transport type");
+  }
+}
+
+// ---- state machine ----
+
+sim::Task<> QueuePair::transition(QpState next) {
+  if (!valid_transition(state_, next)) {
+    throw std::logic_error("QueuePair::transition: invalid state change");
+  }
+  if (type_ == QpType::kRc && next == QpState::kRtr && remote_.lid == 0) {
+    throw std::logic_error(
+        "QueuePair::transition: RC QP needs set_remote before RTR");
+  }
+  return transition_impl(next);
+}
+
+sim::Task<> QueuePair::transition_impl(QpState next) {
+  co_await hca_.fabric().engine().delay(
+      hca_.fabric().config().qp_transition_cost);
+  state_ = next;
+}
+
+sim::Task<> QueuePair::to_rts() {
+  if (state_ == QpState::kReset) co_await transition(QpState::kInit);
+  if (state_ == QpState::kInit) co_await transition(QpState::kRtr);
+  if (state_ == QpState::kRtr) co_await transition(QpState::kRts);
+  if (state_ != QpState::kRts) {
+    throw std::logic_error("QueuePair::to_rts: QP is in error state");
+  }
+}
+
+void QueuePair::set_remote(EndpointAddr remote) {
+  if (type_ != QpType::kRc) {
+    throw std::logic_error("QueuePair::set_remote: only RC QPs connect");
+  }
+  remote_ = remote;
+}
+
+std::optional<std::span<std::byte>> QueuePair::resolve_remote(
+    VirtAddr raddr, RKey rkey, std::size_t len) {
+  Hca& remote_hca = hca_.fabric().hca_by_lid(remote_.lid);
+  return remote_hca.resolve(raddr, rkey, len);
+}
+
+sim::Time QueuePair::schedule_arrival(std::size_t bytes) {
+  Fabric& fabric = hca_.fabric();
+  sim::Time depart = hca_.reserve_injection_slot();
+  sim::Time latency = fabric.transfer_latency(lid(), remote_.lid, bytes) +
+                      hca_.cache_penalty();
+  sim::Time arrival = std::max(depart + latency, last_arrival_);
+  last_arrival_ = arrival;
+  return arrival;
+}
+
+Completion QueuePair::finish(WrId wr_id, WcOpcode opcode, WcStatus status,
+                             std::uint32_t byte_len,
+                             std::uint64_t atomic_old) {
+  --outstanding_;
+  if (status != WcStatus::kSuccess) {
+    state_ = QpState::kError;
+  }
+  return Completion{wr_id, status, opcode, byte_len, atomic_old};
+}
+
+// ---- RC operations ----
+
+sim::Task<Completion> QueuePair::send(std::vector<std::byte> payload,
+                                      WrId wr_id) {
+  require_type(QpType::kRc, "send");
+  require_state(QpState::kRts, "send");
+  return send_impl(std::move(payload), wr_id);
+}
+
+sim::Task<Completion> QueuePair::send_impl(std::vector<std::byte> payload,
+                                           WrId wr_id) {
+  ++outstanding_;
+  sim::Engine& engine = hca_.fabric().engine();
+  const auto byte_len = static_cast<std::uint32_t>(payload.size());
+  sim::Time arrival = schedule_arrival(payload.size());
+
+  Hca& remote_hca = hca_.fabric().hca_by_lid(remote_.lid);
+  QueuePair* remote_qp = remote_hca.find_qp(remote_.qpn);
+  if (remote_qp == nullptr) {
+    // The peer QP vanished: real RC would retry and eventually fail with a
+    // retry-exceeded completion; we fail immediately.
+    co_await engine.delay(hca_.fabric().config().ack_latency);
+    co_return finish(wr_id, WcOpcode::kSend, WcStatus::kRemoteAccessError, 0);
+  }
+  RankId dst_rank = remote_qp->owner();
+
+  auto message = std::make_shared<RcMessage>(
+      RcMessage{lid(), qpn_, remote_.qpn, std::move(payload)});
+  engine.schedule_at(arrival, [&remote_hca, dst_rank, message] {
+    sim::Mailbox<RcMessage>& srq = remote_hca.srq(dst_rank);
+    // A drained (closed) receive queue flushes incoming messages, like a
+    // QP in the error state.
+    if (!srq.closed()) {
+      srq.push(std::move(*message));
+    }
+  });
+
+  sim::Gate done(engine);
+  engine.schedule_at(arrival + hca_.fabric().config().ack_latency,
+                     [&done] { done.open(); });
+  co_await done.wait();
+  co_return finish(wr_id, WcOpcode::kSend, WcStatus::kSuccess, byte_len);
+}
+
+sim::Task<Completion> QueuePair::rdma_write(VirtAddr raddr, RKey rkey,
+                                            std::vector<std::byte> data,
+                                            WrId wr_id) {
+  require_type(QpType::kRc, "rdma_write");
+  require_state(QpState::kRts, "rdma_write");
+  return rdma_write_impl(raddr, rkey, std::move(data), wr_id);
+}
+
+sim::Task<Completion> QueuePair::rdma_write_impl(VirtAddr raddr, RKey rkey,
+                                                 std::vector<std::byte> data,
+                                                 WrId wr_id) {
+  ++outstanding_;
+  sim::Engine& engine = hca_.fabric().engine();
+  const auto byte_len = static_cast<std::uint32_t>(data.size());
+  sim::Time arrival = schedule_arrival(data.size());
+
+  auto payload = std::make_shared<std::vector<std::byte>>(std::move(data));
+  auto status = std::make_shared<WcStatus>(WcStatus::kSuccess);
+  engine.schedule_at(arrival, [this, raddr, rkey, payload, status] {
+    auto window = resolve_remote(raddr, rkey, payload->size());
+    if (!window) {
+      *status = WcStatus::kRemoteAccessError;
+      return;
+    }
+    std::copy(payload->begin(), payload->end(), window->begin());
+  });
+
+  sim::Gate done(engine);
+  engine.schedule_at(arrival + hca_.fabric().config().ack_latency,
+                     [&done] { done.open(); });
+  co_await done.wait();
+  co_return finish(wr_id, WcOpcode::kRdmaWrite, *status, byte_len);
+}
+
+sim::Task<Completion> QueuePair::rdma_read(VirtAddr raddr, RKey rkey,
+                                           std::span<std::byte> dest,
+                                           WrId wr_id) {
+  require_type(QpType::kRc, "rdma_read");
+  require_state(QpState::kRts, "rdma_read");
+  return rdma_read_impl(raddr, rkey, dest, wr_id);
+}
+
+sim::Task<Completion> QueuePair::rdma_read_impl(VirtAddr raddr, RKey rkey,
+                                                std::span<std::byte> dest,
+                                                WrId wr_id) {
+  ++outstanding_;
+  sim::Engine& engine = hca_.fabric().engine();
+  const FabricConfig& cfg = hca_.fabric().config();
+  const auto byte_len = static_cast<std::uint32_t>(dest.size());
+
+  // The read request itself is header-only; the response carries the data.
+  sim::Time request_arrival = schedule_arrival(0);
+  sim::Time response_arrival =
+      request_arrival + cfg.responder_overhead +
+      hca_.fabric().transfer_latency(remote_.lid, lid(), dest.size());
+
+  auto snapshot = std::make_shared<std::vector<std::byte>>();
+  auto status = std::make_shared<WcStatus>(WcStatus::kSuccess);
+  engine.schedule_at(request_arrival,
+                     [this, raddr, rkey, byte_len, snapshot, status] {
+                       auto window = resolve_remote(raddr, rkey, byte_len);
+                       if (!window) {
+                         *status = WcStatus::kRemoteAccessError;
+                         return;
+                       }
+                       snapshot->assign(window->begin(), window->end());
+                     });
+
+  sim::Gate done(engine);
+  engine.schedule_at(response_arrival, [dest, snapshot, status, &done] {
+    if (*status == WcStatus::kSuccess) {
+      std::copy(snapshot->begin(), snapshot->end(), dest.begin());
+    }
+    done.open();
+  });
+  co_await done.wait();
+  co_return finish(wr_id, WcOpcode::kRdmaRead, *status, byte_len);
+}
+
+sim::Task<Completion> QueuePair::fetch_add(VirtAddr raddr, RKey rkey,
+                                           std::uint64_t add, WrId wr_id) {
+  require_type(QpType::kRc, "fetch_add");
+  require_state(QpState::kRts, "fetch_add");
+  return fetch_add_impl(raddr, rkey, add, wr_id);
+}
+
+sim::Task<Completion> QueuePair::fetch_add_impl(VirtAddr raddr, RKey rkey,
+                                                std::uint64_t add,
+                                                WrId wr_id) {
+  ++outstanding_;
+  sim::Engine& engine = hca_.fabric().engine();
+  const FabricConfig& cfg = hca_.fabric().config();
+  sim::Time request_arrival = schedule_arrival(sizeof(std::uint64_t));
+  sim::Time response_arrival =
+      request_arrival + cfg.responder_overhead +
+      hca_.fabric().transfer_latency(remote_.lid, lid(),
+                                     sizeof(std::uint64_t));
+
+  auto result = std::make_shared<AtomicResult>();
+  engine.schedule_at(request_arrival, [this, raddr, rkey, add, result] {
+    auto window = resolve_remote(raddr, rkey, sizeof(std::uint64_t));
+    if (!window) {
+      result->status = WcStatus::kRemoteAccessError;
+      return;
+    }
+    result->old_value = load_u64(*window);
+    store_u64(*window, result->old_value + add);
+  });
+
+  sim::Gate done(engine);
+  engine.schedule_at(response_arrival, [&done] { done.open(); });
+  co_await done.wait();
+  co_return finish(wr_id, WcOpcode::kFetchAdd, result->status,
+                   sizeof(std::uint64_t), result->old_value);
+}
+
+sim::Task<Completion> QueuePair::compare_swap(VirtAddr raddr, RKey rkey,
+                                              std::uint64_t expect,
+                                              std::uint64_t desired,
+                                              WrId wr_id) {
+  require_type(QpType::kRc, "compare_swap");
+  require_state(QpState::kRts, "compare_swap");
+  return compare_swap_impl(raddr, rkey, expect, desired, wr_id);
+}
+
+sim::Task<Completion> QueuePair::compare_swap_impl(VirtAddr raddr, RKey rkey,
+                                                   std::uint64_t expect,
+                                                   std::uint64_t desired,
+                                                   WrId wr_id) {
+  ++outstanding_;
+  sim::Engine& engine = hca_.fabric().engine();
+  const FabricConfig& cfg = hca_.fabric().config();
+  sim::Time request_arrival = schedule_arrival(sizeof(std::uint64_t));
+  sim::Time response_arrival =
+      request_arrival + cfg.responder_overhead +
+      hca_.fabric().transfer_latency(remote_.lid, lid(),
+                                     sizeof(std::uint64_t));
+
+  auto result = std::make_shared<AtomicResult>();
+  engine.schedule_at(request_arrival,
+                     [this, raddr, rkey, expect, desired, result] {
+                       auto window =
+                           resolve_remote(raddr, rkey, sizeof(std::uint64_t));
+                       if (!window) {
+                         result->status = WcStatus::kRemoteAccessError;
+                         return;
+                       }
+                       result->old_value = load_u64(*window);
+                       if (result->old_value == expect) {
+                         store_u64(*window, desired);
+                       }
+                     });
+
+  sim::Gate done(engine);
+  engine.schedule_at(response_arrival, [&done] { done.open(); });
+  co_await done.wait();
+  co_return finish(wr_id, WcOpcode::kCompareSwap, result->status,
+                   sizeof(std::uint64_t), result->old_value);
+}
+
+sim::Task<Completion> QueuePair::swap(VirtAddr raddr, RKey rkey,
+                                      std::uint64_t value, WrId wr_id) {
+  require_type(QpType::kRc, "swap");
+  require_state(QpState::kRts, "swap");
+  return swap_impl(raddr, rkey, value, wr_id);
+}
+
+sim::Task<Completion> QueuePair::swap_impl(VirtAddr raddr, RKey rkey,
+                                           std::uint64_t value, WrId wr_id) {
+  ++outstanding_;
+  sim::Engine& engine = hca_.fabric().engine();
+  const FabricConfig& cfg = hca_.fabric().config();
+  sim::Time request_arrival = schedule_arrival(sizeof(std::uint64_t));
+  sim::Time response_arrival =
+      request_arrival + cfg.responder_overhead +
+      hca_.fabric().transfer_latency(remote_.lid, lid(),
+                                     sizeof(std::uint64_t));
+
+  auto result = std::make_shared<AtomicResult>();
+  engine.schedule_at(request_arrival, [this, raddr, rkey, value, result] {
+    auto window = resolve_remote(raddr, rkey, sizeof(std::uint64_t));
+    if (!window) {
+      result->status = WcStatus::kRemoteAccessError;
+      return;
+    }
+    result->old_value = load_u64(*window);
+    store_u64(*window, value);
+  });
+
+  sim::Gate done(engine);
+  engine.schedule_at(response_arrival, [&done] { done.open(); });
+  co_await done.wait();
+  co_return finish(wr_id, WcOpcode::kSwap, result->status,
+                   sizeof(std::uint64_t), result->old_value);
+}
+
+// ---- UD operations ----
+
+sim::Task<Completion> QueuePair::send_ud(Lid dlid, Qpn dqpn,
+                                         std::vector<std::byte> payload,
+                                         WrId wr_id) {
+  require_type(QpType::kUd, "send_ud");
+  require_state(QpState::kRts, "send_ud");
+  if (payload.size() > hca_.fabric().config().mtu) {
+    throw std::logic_error("QueuePair::send_ud: payload exceeds MTU");
+  }
+  return send_ud_impl(dlid, dqpn, std::move(payload), wr_id);
+}
+
+sim::Task<Completion> QueuePair::send_ud_impl(Lid dlid, Qpn dqpn,
+                                              std::vector<std::byte> payload,
+                                              WrId wr_id) {
+  ++outstanding_;
+  Fabric& fabric = hca_.fabric();
+  const FabricConfig& cfg = fabric.config();
+  sim::Engine& engine = fabric.engine();
+  const auto byte_len = static_cast<std::uint32_t>(payload.size());
+  sim::Time depart = hca_.reserve_injection_slot();
+
+  auto deliver = [&fabric, dlid, dqpn](sim::Time at,
+                                       std::shared_ptr<UdDatagram> gram) {
+    fabric.engine().schedule_at(at, [&fabric, dlid, dqpn, gram] {
+      QueuePair* dst = fabric.hca_by_lid(dlid).find_qp(dqpn);
+      // Datagrams to missing or non-UD QPs are silently dropped, like real
+      // UD traffic to a stale QPN.
+      if (dst != nullptr && dst->type() == QpType::kUd &&
+          (dst->state() == QpState::kRtr || dst->state() == QpState::kRts) &&
+          !dst->ud_recv().closed()) {
+        dst->ud_recv().push(*gram);
+      }
+    });
+  };
+
+  bool dropped = fabric.rng().chance(cfg.ud_drop_rate);
+  if (!dropped) {
+    sim::Time jitter =
+        cfg.ud_jitter_max > 0 ? fabric.rng().next_below(cfg.ud_jitter_max) : 0;
+    sim::Time latency =
+        fabric.transfer_latency(lid(), dlid, payload.size()) + jitter;
+    auto gram = std::make_shared<UdDatagram>(
+        UdDatagram{lid(), qpn_, std::move(payload)});
+    deliver(depart + latency, gram);
+    if (fabric.rng().chance(cfg.ud_duplicate_rate)) {
+      sim::Time jitter2 = cfg.ud_jitter_max > 0
+                              ? fabric.rng().next_below(cfg.ud_jitter_max)
+                              : cfg.wire_latency;
+      deliver(depart + latency + jitter2 + 1, gram);
+    }
+  }
+
+  sim::Gate done(engine);
+  engine.schedule_at(depart + cfg.hca_tx_overhead, [&done] { done.open(); });
+  co_await done.wait();
+  co_return finish(wr_id, WcOpcode::kSend, WcStatus::kSuccess, byte_len);
+}
+
+sim::Mailbox<UdDatagram>& QueuePair::ud_recv() {
+  if (!ud_recv_) {
+    throw std::logic_error("QueuePair::ud_recv: not a UD QP");
+  }
+  return *ud_recv_;
+}
+
+}  // namespace odcm::fabric

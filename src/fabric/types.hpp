@@ -1,0 +1,93 @@
+// Plain data types shared across the simulated InfiniBand fabric.
+//
+// Naming follows the verbs object model: LIDs identify HCAs (one HCA per
+// node, like the paper's clusters), QPNs identify queue pairs within an HCA,
+// and `<lid, qpn>` is the endpoint address exchanged out-of-band — "roughly
+// equivalent to IP address and port number" (paper §IV-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace odcm::fabric {
+
+using Lid = std::uint16_t;       ///< Local identifier of an HCA (per node).
+using Qpn = std::uint32_t;       ///< Queue pair number, unique within an HCA.
+using RKey = std::uint64_t;      ///< Remote protection key of a memory region.
+using VirtAddr = std::uint64_t;  ///< Simulated virtual address.
+using NodeId = std::uint32_t;    ///< Compute-node index.
+using RankId = std::uint32_t;    ///< Global PE / process rank.
+using WrId = std::uint64_t;      ///< Work-request identifier.
+
+/// Transport type of a queue pair (paper §III-C).
+enum class QpType : std::uint8_t {
+  kRc,  ///< Reliable Connected: one QP per peer, supports RDMA and atomics.
+  kUd,  ///< Unreliable Datagram: one QP talks to any peer, send/recv only.
+};
+
+/// Queue-pair state machine, as driven by `ibv_modify_qp` in real verbs.
+enum class QpState : std::uint8_t {
+  kReset,
+  kInit,
+  kRtr,  ///< Ready-to-receive.
+  kRts,  ///< Ready-to-send.
+  kError,
+};
+
+/// Completion status (subset of ibv_wc_status).
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kRemoteAccessError,  ///< Bad rkey or out-of-range remote address.
+  kFlushError,         ///< QP entered error state before the WR executed.
+};
+
+/// Completed operation kind (subset of ibv_wc_opcode).
+enum class WcOpcode : std::uint8_t {
+  kSend,
+  kRdmaWrite,
+  kRdmaRead,
+  kFetchAdd,
+  kCompareSwap,
+  kSwap,  ///< Unconditional swap (ConnectX extended atomics).
+};
+
+/// Work completion delivered to the initiator when an operation finishes.
+struct Completion {
+  WrId wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  WcOpcode opcode = WcOpcode::kSend;
+  std::uint32_t byte_len = 0;
+  /// Prior value at the target address, for atomic operations.
+  std::uint64_t atomic_old = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == WcStatus::kSuccess;
+  }
+};
+
+/// Datagram delivered to a UD queue pair's receive queue. Carries the
+/// source address the way a GRH does, so the receiver can reply.
+struct UdDatagram {
+  Lid src_lid = 0;
+  Qpn src_qpn = 0;
+  std::vector<std::byte> payload{};
+};
+
+/// RC SEND message delivered to the owner PE's shared receive queue.
+struct RcMessage {
+  Lid src_lid = 0;
+  Qpn src_qpn = 0;  ///< The *sender's* QP number.
+  Qpn dst_qpn = 0;  ///< The local QP the message arrived on.
+  std::vector<std::byte> payload{};
+};
+
+/// Endpoint address tuple exchanged out-of-band (paper §IV-A).
+struct EndpointAddr {
+  Lid lid = 0;
+  Qpn qpn = 0;
+
+  friend bool operator==(const EndpointAddr&, const EndpointAddr&) = default;
+};
+
+}  // namespace odcm::fabric

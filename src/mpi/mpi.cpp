@@ -1,0 +1,249 @@
+#include "mpi/mpi.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/wire.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::mpi {
+
+MpiComm::MpiComm(core::Conduit& conduit) : conduit_(conduit) {
+  conduit_.register_handler(
+      kMpiHandler,
+      [this](RankId src, std::vector<std::byte> payload) -> sim::Task<> {
+        return handle_message(src, std::move(payload));
+      });
+}
+
+sim::Task<> MpiComm::init() {
+  if (!conduit_.initialized()) {
+    co_await conduit_.init();
+    conduit_.set_ready();
+  }
+}
+
+double MpiComm::wtime() {
+  return sim::to_seconds(conduit_.engine().now());
+}
+
+sim::Task<> MpiComm::handle_message(RankId src,
+                                    std::vector<std::byte> payload) {
+  core::wire::Reader reader(payload);
+  auto tag = reader.read_int<std::uint64_t>();
+  matchbox(src, tag).push(reader.read_rest());
+  co_return;
+}
+
+sim::Mailbox<std::vector<std::byte>>& MpiComm::matchbox(RankId src,
+                                                        std::uint64_t tag) {
+  auto key = std::make_pair(src, tag);
+  auto it = matches_.find(key);
+  if (it == matches_.end()) {
+    it = matches_
+             .emplace(key, std::make_unique<sim::Mailbox<std::vector<std::byte>>>(
+                               conduit_.engine()))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task<> MpiComm::send_tagged(RankId dst, std::uint64_t tag,
+                                 std::span<const std::byte> data) {
+  std::vector<std::byte> message;
+  message.reserve(8 + data.size());
+  core::wire::put_int<std::uint64_t>(message, tag);
+  message.insert(message.end(), data.begin(), data.end());
+  co_await conduit_.am_send(dst, kMpiHandler, std::move(message));
+}
+
+sim::Task<std::vector<std::byte>> MpiComm::recv_tagged(RankId src,
+                                                       std::uint64_t tag) {
+  co_return co_await matchbox(src, tag).pop();
+}
+
+sim::Task<> MpiComm::send(RankId dst, std::uint32_t tag,
+                          std::span<const std::byte> data) {
+  conduit_.stats().add("mpi_send");
+  co_await send_tagged(dst, tag, data);
+}
+
+sim::Task<std::vector<std::byte>> MpiComm::recv(RankId src,
+                                                std::uint32_t tag) {
+  conduit_.stats().add("mpi_recv");
+  co_return co_await recv_tagged(src, tag);
+}
+
+MpiComm::Request MpiComm::isend(RankId dst, std::uint32_t tag,
+                                std::span<const std::byte> data) {
+  Request request;
+  request.state_ = std::make_shared<Request::State>(conduit_.engine());
+  conduit_.engine().spawn(
+      [](MpiComm& comm, RankId d, std::uint32_t t,
+         std::vector<std::byte> payload,
+         std::shared_ptr<Request::State> state) -> sim::Task<> {
+        co_await comm.send(d, t, payload);
+        state->done.open();
+      }(*this, dst, tag, std::vector<std::byte>(data.begin(), data.end()),
+        request.state_));
+  return request;
+}
+
+MpiComm::Request MpiComm::irecv(RankId src, std::uint32_t tag) {
+  Request request;
+  request.state_ = std::make_shared<Request::State>(conduit_.engine());
+  conduit_.engine().spawn(
+      [](MpiComm& comm, RankId s, std::uint32_t t,
+         std::shared_ptr<Request::State> state) -> sim::Task<> {
+        state->data = co_await comm.recv(s, t);
+        state->done.open();
+      }(*this, src, tag, request.state_));
+  return request;
+}
+
+sim::Task<std::vector<std::byte>> MpiComm::wait(Request request) {
+  if (!request.valid()) {
+    throw std::logic_error("MpiComm::wait: invalid request");
+  }
+  return wait_impl(std::move(request));
+}
+
+sim::Task<std::vector<std::byte>> MpiComm::wait_impl(Request request) {
+  co_await request.state_->done.wait();
+  co_return std::move(request.state_->data);
+}
+
+sim::Task<> MpiComm::waitall(std::vector<Request> requests) {
+  for (Request& request : requests) {
+    (void)co_await wait(std::move(request));
+  }
+}
+
+sim::Task<> MpiComm::barrier() {
+  co_await conduit_.barrier_global();
+}
+
+sim::Task<> MpiComm::bcast(RankId root, std::span<std::byte> data) {
+  const std::uint32_t n = size();
+  if (n == 1) co_return;
+  const std::uint64_t tag = kUserTagSpace + coll_seq_++;
+  constexpr std::uint32_t kFanout = 4;
+  const std::uint32_t vrank = (rank() + n - root) % n;
+
+  if (vrank != 0) {
+    RankId parent = static_cast<RankId>(((vrank - 1) / kFanout + root) % n);
+    std::vector<std::byte> incoming = co_await recv_tagged(parent, tag);
+    if (incoming.size() != data.size()) {
+      throw std::runtime_error("MpiComm::bcast: size mismatch");
+    }
+    std::copy(incoming.begin(), incoming.end(), data.begin());
+  }
+  for (std::uint32_t c = 1; c <= kFanout; ++c) {
+    std::uint64_t child = static_cast<std::uint64_t>(vrank) * kFanout + c;
+    if (child >= n) break;
+    RankId child_rank = static_cast<RankId>((child + root) % n);
+    co_await send_tagged(child_rank, tag, data);
+  }
+}
+
+sim::Task<> MpiComm::allgather(std::span<const std::byte> block,
+                               std::span<std::byte> out) {
+  const std::uint32_t n = size();
+  const std::size_t len = block.size();
+  if (out.size() != len * n) {
+    throw std::invalid_argument("MpiComm::allgather: bad output size");
+  }
+  std::copy(block.begin(), block.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(rank() * len));
+  if (n == 1) co_return;
+  // Ring allgather: N-1 steps, each forwarding the newest block.
+  const std::uint64_t tag = kUserTagSpace + coll_seq_++;
+  const RankId right = (rank() + 1) % n;
+  const RankId left = (rank() + n - 1) % n;
+  std::uint32_t send_idx = rank();
+  for (std::uint32_t step = 0; step + 1 < n; ++step) {
+    std::vector<std::byte> message;
+    core::wire::put_int<std::uint32_t>(message, send_idx);
+    auto chunk = out.subspan(static_cast<std::size_t>(send_idx) * len, len);
+    message.insert(message.end(), chunk.begin(), chunk.end());
+    co_await send_tagged(right, tag, message);
+
+    std::vector<std::byte> incoming = co_await recv_tagged(left, tag);
+    core::wire::Reader reader(incoming);
+    auto idx = reader.read_int<std::uint32_t>();
+    std::vector<std::byte> data = reader.read_rest();
+    if (idx >= n || data.size() != len) {
+      throw std::runtime_error("MpiComm::allgather: bad chunk");
+    }
+    std::copy(data.begin(), data.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(idx * len));
+    send_idx = idx;
+  }
+}
+
+sim::Task<> MpiComm::gather(RankId root, std::span<const std::byte> block,
+                            std::span<std::byte> out) {
+  const std::uint32_t n = size();
+  const std::size_t len = block.size();
+  const std::uint64_t tag = kUserTagSpace + coll_seq_++;
+  if (rank() == root) {
+    if (out.size() != len * n) {
+      throw std::invalid_argument("MpiComm::gather: bad output size");
+    }
+    std::copy(block.begin(), block.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(root * len));
+    for (RankId r = 0; r < n; ++r) {
+      if (r == root) continue;
+      std::vector<std::byte> data = co_await recv_tagged(r, tag);
+      if (data.size() != len) {
+        throw std::runtime_error("MpiComm::gather: size mismatch");
+      }
+      std::copy(data.begin(), data.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(r * len));
+    }
+  } else {
+    co_await send_tagged(root, tag, block);
+  }
+}
+
+sim::Task<> MpiComm::scatter(RankId root, std::span<const std::byte> in,
+                             std::span<std::byte> out) {
+  const std::uint32_t n = size();
+  const std::size_t len = out.size();
+  const std::uint64_t tag = kUserTagSpace + coll_seq_++;
+  if (rank() == root) {
+    if (in.size() != len * n) {
+      throw std::invalid_argument("MpiComm::scatter: bad input size");
+    }
+    for (RankId r = 0; r < n; ++r) {
+      if (r == root) continue;
+      co_await send_tagged(r, tag,
+                           in.subspan(static_cast<std::size_t>(r) * len, len));
+    }
+    auto mine = in.subspan(static_cast<std::size_t>(root) * len, len);
+    std::copy(mine.begin(), mine.end(), out.begin());
+  } else {
+    std::vector<std::byte> data = co_await recv_tagged(root, tag);
+    if (data.size() != len) {
+      throw std::runtime_error("MpiComm::scatter: size mismatch");
+    }
+    std::copy(data.begin(), data.end(), out.begin());
+  }
+}
+
+sim::Task<std::vector<std::byte>> MpiComm::sendrecv(
+    RankId peer, std::uint32_t tag, std::span<const std::byte> data) {
+  // Post the send as its own task so two PEs in sendrecv with each other
+  // cannot deadlock, then block on the matching receive.
+  std::vector<std::byte> copy(data.begin(), data.end());
+  sim::spawn_discard(
+      conduit_.engine(),
+      [](MpiComm& comm, RankId dst, std::uint32_t t,
+         std::vector<std::byte> payload) -> sim::Task<int> {
+        co_await comm.send(dst, t, payload);
+        co_return 0;
+      }(*this, peer, tag, std::move(copy)));
+  co_return co_await recv(peer, tag);
+}
+
+}  // namespace odcm::mpi

@@ -1,0 +1,191 @@
+// MPI-lite: two-sided message passing and collectives over the SAME conduit
+// the OpenSHMEM layer uses.
+//
+// This reproduces the unified-runtime property of MVAPICH2-X (paper §III-D):
+// a hybrid MPI+OpenSHMEM application drives one connection table, one set of
+// QPs and one progress engine, so on-demand connections are shared between
+// the two programming models and no duplicated endpoints exist.
+//
+// Supported surface (what the hybrid Graph500 and the benches need):
+//   send / recv (eager, exact (source, tag) matching)
+//   barrier, bcast, reduce, allreduce, allgather
+//   wtime
+//
+// Deviations from MPI proper, by design: no wildcard source/tag, no
+// communicator splitting, eager protocol only.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/conduit.hpp"
+#include "shmem/types.hpp"
+#include "sim/sync.hpp"
+
+namespace odcm::mpi {
+
+using RankId = fabric::RankId;
+using ReduceOp = shmem::ReduceOp;
+
+/// AM handler id used by the MPI layer (distinct from the SHMEM ids).
+inline constexpr std::uint16_t kMpiHandler = core::kFirstUserHandler + 2;
+
+class MpiComm {
+ public:
+  /// Construct over an existing conduit. Must be constructed on every rank
+  /// before any rank communicates through it.
+  explicit MpiComm(core::Conduit& conduit);
+  MpiComm(const MpiComm&) = delete;
+  MpiComm& operator=(const MpiComm&) = delete;
+
+  [[nodiscard]] RankId rank() const noexcept { return conduit_.rank(); }
+  [[nodiscard]] std::uint32_t size() const noexcept { return conduit_.size(); }
+  [[nodiscard]] core::Conduit& conduit() noexcept { return conduit_; }
+
+  /// Initialize the underlying conduit if the program runs pure MPI
+  /// (hybrid programs initialize through shmem's start_pes instead).
+  [[nodiscard]] sim::Task<> init();
+
+  /// Wall-clock in simulated seconds (MPI_Wtime).
+  [[nodiscard]] double wtime();
+
+  // ---- point-to-point ----
+
+  [[nodiscard]] sim::Task<> send(RankId dst, std::uint32_t tag,
+                                 std::span<const std::byte> data);
+  [[nodiscard]] sim::Task<std::vector<std::byte>> recv(RankId src,
+                                                       std::uint32_t tag);
+
+  /// Non-blocking request handle (MPI_Request). Obtained from isend/irecv;
+  /// completed by wait(). Copyable (shared state).
+  class Request {
+   public:
+    [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+   private:
+    friend class MpiComm;
+    struct State {
+      explicit State(sim::Engine& engine) : done(engine) {}
+      sim::Gate done;
+      std::vector<std::byte> data{};
+    };
+    std::shared_ptr<State> state_{};
+  };
+
+  /// MPI_Isend: starts the send and returns immediately.
+  [[nodiscard]] Request isend(RankId dst, std::uint32_t tag,
+                              std::span<const std::byte> data);
+  /// MPI_Irecv: posts the receive and returns immediately.
+  [[nodiscard]] Request irecv(RankId src, std::uint32_t tag);
+  /// MPI_Wait: blocks until the request completes; for receives, returns
+  /// the message payload (empty for sends).
+  [[nodiscard]] sim::Task<std::vector<std::byte>> wait(Request request);
+  /// MPI_Waitall.
+  [[nodiscard]] sim::Task<> waitall(std::vector<Request> requests);
+
+  template <typename T>
+  [[nodiscard]] sim::Task<> send_value(RankId dst, std::uint32_t tag,
+                                       T value) {
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    co_await send(dst, tag, bytes);
+  }
+  template <typename T>
+  [[nodiscard]] sim::Task<T> recv_value(RankId src, std::uint32_t tag) {
+    std::vector<std::byte> bytes = co_await recv(src, tag);
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    co_return value;
+  }
+
+  // ---- collectives (tree algorithms over send/recv) ----
+
+  [[nodiscard]] sim::Task<> barrier();
+  /// In-place broadcast of `data` from root; on non-roots `data` is
+  /// overwritten with the root's content (sizes must match).
+  [[nodiscard]] sim::Task<> bcast(RankId root, std::span<std::byte> data);
+  /// Element-wise reduction of `count` T's to root; result valid on root.
+  template <typename T>
+  [[nodiscard]] sim::Task<> reduce(RankId root, std::span<T> data,
+                                   ReduceOp op);
+  template <typename T>
+  [[nodiscard]] sim::Task<> allreduce(std::span<T> data, ReduceOp op) {
+    co_await reduce<T>(0, data, op);
+    co_await bcast(0, std::as_writable_bytes(data));
+  }
+  /// Gather every rank's `block` (same size everywhere) into `out`
+  /// (size() * block.size() bytes) on every rank.
+  [[nodiscard]] sim::Task<> allgather(std::span<const std::byte> block,
+                                      std::span<std::byte> out);
+
+  /// Gather every rank's `block` to `out` on `root` only (`out` may be
+  /// empty on non-roots).
+  [[nodiscard]] sim::Task<> gather(RankId root,
+                                   std::span<const std::byte> block,
+                                   std::span<std::byte> out);
+
+  /// Scatter `in` (size() * block bytes, significant on root) so rank i
+  /// receives block i in `out`.
+  [[nodiscard]] sim::Task<> scatter(RankId root, std::span<const std::byte> in,
+                                    std::span<std::byte> out);
+
+  /// Combined send+recv with the same peer (MPI_Sendrecv): posts the send,
+  /// then waits for the matching receive.
+  [[nodiscard]] sim::Task<std::vector<std::byte>> sendrecv(
+      RankId peer, std::uint32_t tag, std::span<const std::byte> data);
+
+ private:
+  /// Wire tags: user tags are offset so collective traffic cannot collide.
+  static constexpr std::uint64_t kUserTagSpace = 1ULL << 32;
+
+  sim::Task<std::vector<std::byte>> wait_impl(Request request);
+  sim::Task<> handle_message(RankId src, std::vector<std::byte> payload);
+  sim::Mailbox<std::vector<std::byte>>& matchbox(RankId src,
+                                                 std::uint64_t tag);
+  sim::Task<> send_tagged(RankId dst, std::uint64_t tag,
+                          std::span<const std::byte> data);
+  sim::Task<std::vector<std::byte>> recv_tagged(RankId src,
+                                                std::uint64_t tag);
+
+  core::Conduit& conduit_;
+  std::map<std::pair<RankId, std::uint64_t>,
+           std::unique_ptr<sim::Mailbox<std::vector<std::byte>>>>
+      matches_{};
+  std::uint64_t coll_seq_ = 0;
+};
+
+template <typename T>
+sim::Task<> MpiComm::reduce(RankId root, std::span<T> data, ReduceOp op) {
+  const std::uint32_t n = size();
+  if (n == 1) co_return;
+  const std::uint64_t tag = kUserTagSpace + coll_seq_++;
+  // Binomial-style tree rooted at `root` (virtual ranks).
+  const std::uint32_t vrank = (rank() + n - root) % n;
+  constexpr std::uint32_t kFanout = 4;
+  for (std::uint32_t c = 1; c <= kFanout; ++c) {
+    std::uint64_t child = static_cast<std::uint64_t>(vrank) * kFanout + c;
+    if (child >= n) break;
+    RankId child_rank = static_cast<RankId>((child + root) % n);
+    std::vector<std::byte> partial = co_await recv_tagged(child_rank, tag);
+    const T* in = reinterpret_cast<const T*>(partial.data());
+    for (std::size_t e = 0; e < data.size(); ++e) {
+      switch (op) {
+        case ReduceOp::kSum: data[e] = data[e] + in[e]; break;
+        case ReduceOp::kMin: data[e] = in[e] < data[e] ? in[e] : data[e]; break;
+        case ReduceOp::kMax: data[e] = data[e] < in[e] ? in[e] : data[e]; break;
+        case ReduceOp::kProd: data[e] = data[e] * in[e]; break;
+      }
+    }
+  }
+  if (vrank != 0) {
+    RankId parent =
+        static_cast<RankId>(((vrank - 1) / kFanout + root) % n);
+    co_await send_tagged(parent, tag, std::as_bytes(data));
+  }
+}
+
+}  // namespace odcm::mpi

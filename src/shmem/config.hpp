@@ -1,0 +1,45 @@
+// OpenSHMEM runtime configuration and cost-model constants.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::shmem {
+
+struct ShmemConfig {
+  /// Actual bytes backing each PE's symmetric heap (data correctness).
+  std::uint64_t heap_bytes = 1 << 20;
+
+  /// Heap size used for the memory-registration *cost model* (Fig 1/5b show
+  /// registration of production-sized heaps; benches model 256 MiB heaps
+  /// while backing them with `heap_bytes` of real memory). 0 = same as
+  /// `heap_bytes`.
+  std::uint64_t modeled_heap_bytes = 0;
+
+  /// Intra-node shared-memory setup (segment creation, mmap, bootstrap).
+  sim::Time shared_memory_base = 500 * sim::msec;
+  sim::Time shared_memory_per_pe = 100 * sim::msec;  ///< × PEs on the node.
+
+  /// Constant library bookkeeping during start_pes ("Other" in Fig 1).
+  sim::Time init_misc = 400 * sim::msec;
+
+  /// Local (self) put/get cost model.
+  sim::Time local_copy_latency = 80 * sim::nsec;
+  double local_bytes_per_ns = 16.0;
+
+  /// Polling interval of shmem_wait_until.
+  sim::Time wait_poll_interval = 1 * sim::usec;
+
+  /// Fan-out of tree-based reductions and broadcasts.
+  std::uint32_t collective_fanout = 4;
+};
+
+/// Complete job description: conduit/fabric/PMI config plus SHMEM knobs.
+struct ShmemJobConfig {
+  core::JobConfig job{};
+  ShmemConfig shmem{};
+};
+
+}  // namespace odcm::shmem

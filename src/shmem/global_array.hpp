@@ -1,0 +1,155 @@
+// A UPC-style block-distributed global array over the OpenSHMEM layer.
+//
+// The paper notes its designs "are applicable to other PGAS languages such
+// as UPC or CAF" (§II): language runtimes sit on the same conduit and
+// inherit on-demand connections transparently. `GlobalArray<T>` is a small
+// such runtime: a 1D array of trivially-copyable elements, block-distributed
+// across PEs, with one-sided reads/writes by *global index* — the shared-
+// array abstraction UPC compiles variable references into.
+//
+// Construction is collective (like UPC shared-array allocation); element
+// access is one-sided and connects to owners on demand.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "shmem/pe.hpp"
+
+namespace odcm::shmem {
+
+template <typename T>
+class GlobalArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "GlobalArray elements must be trivially copyable");
+
+ public:
+  /// Collective: every PE must construct the array with the same size, in
+  /// the same allocation order.
+  GlobalArray(ShmemPe& pe, std::uint64_t n_elems)
+      : pe_(&pe),
+        size_(n_elems),
+        block_((n_elems + pe.n_pes() - 1) / pe.n_pes()),
+        base_(pe.heap().allocate(block_ * sizeof(T), alignof(T) > 8
+                                                         ? alignof(T)
+                                                         : 8)) {
+    if (n_elems == 0) {
+      throw std::invalid_argument("GlobalArray: empty array");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t block() const noexcept { return block_; }
+
+  /// PE owning global index `i`.
+  [[nodiscard]] RankId owner(std::uint64_t i) const {
+    check(i);
+    return static_cast<RankId>(i / block_);
+  }
+
+  /// True if `i` lives on the calling PE.
+  [[nodiscard]] bool is_local(std::uint64_t i) const {
+    return owner(i) == pe_->rank();
+  }
+
+  /// One-sided read of element `i` (remote get, or local fast path).
+  [[nodiscard]] sim::Task<T> read(std::uint64_t i) {
+    check(i);
+    co_return co_await pe_->get_value<T>(owner(i), slot(i));
+  }
+
+  /// One-sided write of element `i`.
+  [[nodiscard]] sim::Task<> write(std::uint64_t i, T value) {
+    check(i);
+    co_await pe_->put_value<T>(owner(i), slot(i), value);
+  }
+
+  /// Atomic fetch-add on a 64-bit element.
+  [[nodiscard]] sim::Task<std::uint64_t> fetch_add(std::uint64_t i,
+                                                   std::uint64_t delta)
+    requires(sizeof(T) == 8 && std::is_integral_v<T>)
+  {
+    check(i);
+    co_return co_await pe_->atomic_fetch_add(owner(i), slot(i), delta);
+  }
+
+  /// Bulk one-sided read of [first, first+out.size()); may span owners.
+  [[nodiscard]] sim::Task<> read_range(std::uint64_t first,
+                                       std::vector<T>& out) {
+    std::uint64_t i = first;
+    std::size_t done = 0;
+    while (done < out.size()) {
+      check(i);
+      RankId target = owner(i);
+      std::uint64_t in_block = std::min<std::uint64_t>(
+          out.size() - done, block_ - (i % block_));
+      std::vector<std::byte> bytes(in_block * sizeof(T));
+      co_await pe_->get(target, slot(i), bytes);
+      std::memcpy(out.data() + done, bytes.data(), bytes.size());
+      i += in_block;
+      done += in_block;
+    }
+  }
+
+  /// Bulk one-sided write of `data` starting at global index `first`.
+  [[nodiscard]] sim::Task<> write_range(std::uint64_t first,
+                                        const std::vector<T>& data) {
+    std::uint64_t i = first;
+    std::size_t done = 0;
+    while (done < data.size()) {
+      check(i);
+      RankId target = owner(i);
+      std::uint64_t in_block = std::min<std::uint64_t>(
+          data.size() - done, block_ - (i % block_));
+      std::vector<std::byte> bytes(in_block * sizeof(T));
+      std::memcpy(bytes.data(), data.data() + done, bytes.size());
+      co_await pe_->put(target, slot(i), bytes);
+      i += in_block;
+      done += in_block;
+    }
+  }
+
+  /// Direct access to a local element (global index must be local).
+  [[nodiscard]] T local_get(std::uint64_t i) {
+    if (!is_local(i)) {
+      throw std::logic_error("GlobalArray::local_get: index not local");
+    }
+    return pe_->local_read<T>(slot(i));
+  }
+  void local_set(std::uint64_t i, T value) {
+    if (!is_local(i)) {
+      throw std::logic_error("GlobalArray::local_set: index not local");
+    }
+    pe_->local_write<T>(slot(i), value);
+  }
+
+  /// Range of global indices owned by this PE: [lo, hi).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> local_range() const {
+    std::uint64_t lo = static_cast<std::uint64_t>(pe_->rank()) * block_;
+    std::uint64_t hi = std::min(size_, lo + block_);
+    if (lo > hi) lo = hi;
+    return {lo, hi};
+  }
+
+  /// Collective barrier (completes outstanding writes job-wide).
+  [[nodiscard]] sim::Task<> sync() { return pe_->barrier_all(); }
+
+ private:
+  void check(std::uint64_t i) const {
+    if (i >= size_) {
+      throw std::out_of_range("GlobalArray: index out of range");
+    }
+  }
+  [[nodiscard]] SymAddr slot(std::uint64_t i) const {
+    return base_ + (i % block_) * sizeof(T);
+  }
+
+  ShmemPe* pe_;
+  std::uint64_t size_;
+  std::uint64_t block_;
+  SymAddr base_;
+};
+
+}  // namespace odcm::shmem

@@ -1,0 +1,59 @@
+// Symmetric-heap allocator.
+//
+// OpenSHMEM's shmalloc is symmetric: every PE performs the same allocation
+// sequence, so the same call returns the same offset everywhere. The
+// allocator is a deterministic bump allocator with alignment; symmetry
+// follows from determinism as long as the application allocates
+// collectively (which real shmalloc requires too).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "shmem/types.hpp"
+
+namespace odcm::shmem {
+
+class SymmetricAllocator {
+ public:
+  explicit SymmetricAllocator(std::uint64_t heap_bytes)
+      : capacity_(heap_bytes) {}
+
+  /// Allocate `bytes` with the given alignment; returns the symmetric
+  /// offset. Throws std::bad_alloc when the heap is exhausted.
+  SymAddr allocate(std::uint64_t bytes, std::uint64_t alignment = 8) {
+    if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
+      throw std::invalid_argument(
+          "SymmetricAllocator: alignment must be a power of two");
+    }
+    std::uint64_t aligned = (next_ + alignment - 1) & ~(alignment - 1);
+    if (bytes > capacity_ || aligned > capacity_ - bytes) {
+      throw std::bad_alloc();
+    }
+    next_ = aligned + bytes;
+    ++allocations_;
+    return aligned;
+  }
+
+  /// Free is a no-op in this bump allocator (kept for API parity; the NAS
+  /// kernels allocate once per run). Tracks balance for leak checks.
+  void deallocate(SymAddr /*addr*/) {
+    if (allocations_ == 0) {
+      throw std::logic_error("SymmetricAllocator: free without allocation");
+    }
+    --allocations_;
+  }
+
+  [[nodiscard]] std::uint64_t used() const noexcept { return next_; }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    return allocations_;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t next_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace odcm::shmem

@@ -1,0 +1,449 @@
+// ShmemPe: initialization paths, remote memory access, atomics, ordering.
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "shmem/job.hpp"
+#include "shmem/pe.hpp"
+
+namespace odcm::shmem {
+
+using detail::kCollDataHandler;
+using detail::kSegInfoHandler;
+
+ShmemPe::ShmemPe(ShmemJob& job, RankId rank)
+    : job_(job),
+      rank_(rank),
+      conduit_(job.conduit_job().conduit(rank)),
+      heap_space_(rank, fabric::make_va_base(rank),
+                  job.shmem_config().heap_bytes),
+      allocator_(job.shmem_config().heap_bytes) {}
+
+ShmemPe::~ShmemPe() = default;
+
+std::uint32_t ShmemPe::n_pes() const noexcept {
+  return job_.conduit_job().ranks();
+}
+
+sim::Engine& ShmemPe::engine() noexcept { return conduit_.engine(); }
+
+const ShmemConfig& ShmemPe::config() const noexcept {
+  return job_.shmem_config();
+}
+
+// ---- lifecycle ----
+
+sim::Task<> ShmemPe::start_pes() {
+  if (initialized_) {
+    throw std::logic_error("ShmemPe::start_pes: already initialized");
+  }
+  sim::Engine& eng = engine();
+  sim::StatSet& st = stats();
+  const ShmemConfig& cfg = config();
+  const sim::Time t0 = eng.now();
+
+  segments_.assign(n_pes(), std::nullopt);
+  puts_drained_ = std::make_unique<sim::Trigger>(eng);
+  conduit_.register_handler(
+      kCollDataHandler,
+      [this](RankId src, std::vector<std::byte> payload) -> sim::Task<> {
+        return handle_coll_data(src, std::move(payload));
+      });
+  conduit_.register_handler(
+      kSegInfoHandler,
+      [this](RankId src, std::vector<std::byte> payload) -> sim::Task<> {
+        segments_[src] = SegmentInfo::deserialize(payload);
+        if (++segments_received_ == n_pes() - 1 && segments_gate_) {
+          segments_gate_->open();
+        }
+        co_return;
+      });
+
+  {
+    sim::PhaseTimer timer(eng, st, "shared_memory_setup");
+    std::uint32_t local_pes =
+        job_.conduit_job().ranks_on_node(conduit_.node());
+    co_await eng.delay(cfg.shared_memory_base +
+                       cfg.shared_memory_per_pe * local_pes);
+  }
+
+  {
+    sim::PhaseTimer timer(eng, st, "memory_registration");
+    heap_region_ = co_await conduit_.hca().register_memory(
+        heap_space_, heap_space_.base(), heap_space_.size());
+    // Charge the registration cost of the *modeled* heap size when it
+    // exceeds the actual backing store (DESIGN.md §2).
+    std::uint64_t modeled =
+        cfg.modeled_heap_bytes != 0 ? cfg.modeled_heap_bytes : cfg.heap_bytes;
+    if (modeled > cfg.heap_bytes) {
+      const fabric::FabricConfig& fcfg =
+          job_.conduit_job().fabric().config();
+      std::uint64_t extra_pages =
+          (modeled - cfg.heap_bytes + fcfg.page_size - 1) / fcfg.page_size;
+      co_await eng.delay(extra_pages * fcfg.mem_reg_per_page_cost);
+    }
+    segments_[rank_] =
+        SegmentInfo{heap_region_.addr, heap_region_.size, heap_region_.rkey};
+  }
+
+  const bool on_demand =
+      conduit_.config().connection_mode == core::ConnectionMode::kOnDemand;
+  if (on_demand) {
+    // Proposed design: the segment triplet rides on the connection
+    // request/reply packets (paper §IV-C).
+    conduit_.set_payload_hooks(
+        [this] { return segments_[rank_]->serialize(); },
+        [this](RankId peer, std::span<const std::byte> payload) {
+          if (!segments_[peer]) {
+            segments_[peer] = SegmentInfo::deserialize(payload);
+          }
+        });
+  }
+
+  co_await conduit_.init();
+  conduit_.set_ready();
+
+  if (!on_demand) {
+    // Current design: after the static mesh is up, every PE sends its
+    // triplet to every other PE over active messages (inefficiency #2 in
+    // paper §IV-B).
+    sim::PhaseTimer timer(eng, st, "segment_exchange");
+    co_await broadcast_am_segments();
+  }
+
+  {
+    sim::PhaseTimer timer(eng, st, "init_barrier");
+    co_await conduit_.barrier_init();
+    co_await conduit_.barrier_init();
+  }
+
+  {
+    sim::PhaseTimer timer(eng, st, "init_other");
+    co_await eng.delay(cfg.init_misc);
+  }
+
+  st.add_time("start_pes_total", eng.now() - t0);
+  initialized_ = true;
+}
+
+sim::Task<> ShmemPe::broadcast_am_segments() {
+  const std::uint32_t n = n_pes();
+  if (n == 1) co_return;
+  if (n > conduit_.config().bulk_connect_threshold) {
+    // Bulk path: charge the per-PE cost of sending N-1 small AMs and fill
+    // the tables directly (every PE registered before the PMI fence inside
+    // conduit init, so the data is available).
+    const fabric::FabricConfig& fcfg = job_.conduit_job().fabric().config();
+    co_await engine().delay(
+        (n - 1) * (fcfg.hca_tx_overhead + fcfg.min_packet_gap));
+    for (RankId r = 0; r < n; ++r) {
+      segments_[r] = *job_.pe(r).segments_[r];
+    }
+    co_return;
+  }
+  segments_gate_ = std::make_unique<sim::Gate>(engine());
+  if (segments_received_ == n - 1) {
+    segments_gate_->open();
+  }
+  std::vector<std::byte> mine = segments_[rank_]->serialize();
+  for (RankId r = 0; r < n; ++r) {
+    if (r != rank_) {
+      co_await conduit_.am_send(r, kSegInfoHandler, mine);
+    }
+  }
+  co_await segments_gate_->wait();
+}
+
+sim::Task<> ShmemPe::finalize() {
+  if (!initialized_) {
+    throw std::logic_error("ShmemPe::finalize: not initialized");
+  }
+  // Proper termination needs a full barrier even for communication-free
+  // programs (paper §V-B) — in on-demand mode this is where Hello World
+  // pays for its few tree connections.
+  co_await quiet();
+  co_await conduit_.barrier_global();
+  initialized_ = false;
+}
+
+// ---- addressing ----
+
+std::span<std::byte> ShmemPe::local_window(SymAddr addr, std::size_t len) {
+  return heap_space_.window(heap_space_.base() + addr, len);
+}
+
+const SegmentInfo& ShmemPe::peer_segment(RankId dst) {
+  if (dst >= segments_.size() || !segments_[dst]) {
+    throw std::logic_error("ShmemPe: no segment info for peer " +
+                           std::to_string(dst));
+  }
+  return *segments_[dst];
+}
+
+std::pair<fabric::VirtAddr, fabric::RKey> ShmemPe::remote_addr(
+    RankId dst, SymAddr addr, std::size_t len) {
+  const SegmentInfo& segment = peer_segment(dst);
+  if (addr + len > segment.size) {
+    throw std::out_of_range("ShmemPe: symmetric address out of heap");
+  }
+  return {segment.addr + addr, segment.rkey};
+}
+
+// ---- local fast paths ----
+
+sim::Task<> ShmemPe::local_copy_in(SymAddr dest,
+                                   std::span<const std::byte> data) {
+  const ShmemConfig& cfg = config();
+  co_await engine().delay(
+      cfg.local_copy_latency +
+      static_cast<sim::Time>(static_cast<double>(data.size()) /
+                             cfg.local_bytes_per_ns));
+  auto window = local_window(dest, data.size());
+  std::copy(data.begin(), data.end(), window.begin());
+}
+
+sim::Task<> ShmemPe::local_copy_out(SymAddr src, std::span<std::byte> dest) {
+  const ShmemConfig& cfg = config();
+  co_await engine().delay(
+      cfg.local_copy_latency +
+      static_cast<sim::Time>(static_cast<double>(dest.size()) /
+                             cfg.local_bytes_per_ns));
+  auto window = local_window(src, dest.size());
+  std::copy(window.begin(), window.end(), dest.begin());
+}
+
+sim::Task<std::uint64_t> ShmemPe::local_atomic(SymAddr addr,
+                                               std::uint64_t operand,
+                                               std::uint64_t expect,
+                                               int kind) {
+  co_await engine().delay(config().local_copy_latency);
+  std::uint64_t old = local_read<std::uint64_t>(addr);
+  switch (kind) {
+    case 0:  // fetch-add
+      local_write<std::uint64_t>(addr, old + operand);
+      break;
+    case 1:  // swap
+      local_write<std::uint64_t>(addr, operand);
+      break;
+    case 2:  // compare-swap
+      if (old == expect) local_write<std::uint64_t>(addr, operand);
+      break;
+    default:
+      throw std::logic_error("ShmemPe::local_atomic: bad kind");
+  }
+  co_return old;
+}
+
+// ---- RMA ----
+
+sim::Task<> ShmemPe::put(RankId dst, SymAddr dest,
+                         std::span<const std::byte> data) {
+  stats().add("shmem_put");
+  if (dst == rank_) {
+    co_await local_copy_in(dest, data);
+    co_return;
+  }
+  fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
+  auto [va, rkey] = remote_addr(dst, dest, data.size());
+  fabric::Completion wc = co_await qp->rdma_write(
+      va, rkey, std::vector<std::byte>(data.begin(), data.end()));
+  if (!wc.ok()) {
+    throw std::runtime_error("ShmemPe::put: RDMA write failed");
+  }
+}
+
+void ShmemPe::put_nbi(RankId dst, SymAddr dest,
+                      std::span<const std::byte> data) {
+  ++pending_puts_;
+  engine().spawn([](ShmemPe& pe, RankId dst, SymAddr dest,
+                    std::vector<std::byte> data) -> sim::Task<> {
+    co_await pe.put(dst, dest, data);
+    if (--pe.pending_puts_ == 0) {
+      pe.puts_drained_->notify_all();
+    }
+  }(*this, dst, dest, std::vector<std::byte>(data.begin(), data.end())));
+}
+
+sim::Task<> ShmemPe::get(RankId dst, SymAddr src, std::span<std::byte> dest) {
+  stats().add("shmem_get");
+  if (dst == rank_) {
+    co_await local_copy_out(src, dest);
+    co_return;
+  }
+  fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
+  auto [va, rkey] = remote_addr(dst, src, dest.size());
+  fabric::Completion wc = co_await qp->rdma_read(va, rkey, dest);
+  if (!wc.ok()) {
+    throw std::runtime_error("ShmemPe::get: RDMA read failed");
+  }
+}
+
+// ---- atomics ----
+
+sim::Task<std::uint64_t> ShmemPe::atomic_fetch_add(RankId dst, SymAddr addr,
+                                                   std::uint64_t v) {
+  stats().add("shmem_atomic");
+  if (dst == rank_) {
+    co_return co_await local_atomic(addr, v, 0, 0);
+  }
+  fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
+  auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
+  fabric::Completion wc = co_await qp->fetch_add(va, rkey, v);
+  if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+  co_return wc.atomic_old;
+}
+
+sim::Task<std::uint64_t> ShmemPe::atomic_fetch_inc(RankId dst, SymAddr addr) {
+  co_return co_await atomic_fetch_add(dst, addr, 1);
+}
+
+sim::Task<> ShmemPe::atomic_add(RankId dst, SymAddr addr, std::uint64_t v) {
+  (void)co_await atomic_fetch_add(dst, addr, v);
+}
+
+sim::Task<> ShmemPe::atomic_inc(RankId dst, SymAddr addr) {
+  (void)co_await atomic_fetch_add(dst, addr, 1);
+}
+
+sim::Task<std::uint64_t> ShmemPe::atomic_swap(RankId dst, SymAddr addr,
+                                              std::uint64_t v) {
+  stats().add("shmem_atomic");
+  if (dst == rank_) {
+    co_return co_await local_atomic(addr, v, 0, 1);
+  }
+  fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
+  auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
+  fabric::Completion wc = co_await qp->swap(va, rkey, v);
+  if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+  co_return wc.atomic_old;
+}
+
+sim::Task<std::uint64_t> ShmemPe::atomic_compare_swap(RankId dst, SymAddr addr,
+                                                      std::uint64_t expect,
+                                                      std::uint64_t desired) {
+  stats().add("shmem_atomic");
+  if (dst == rank_) {
+    co_return co_await local_atomic(addr, desired, expect, 2);
+  }
+  fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
+  auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
+  fabric::Completion wc = co_await qp->compare_swap(va, rkey, expect, desired);
+  if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+  co_return wc.atomic_old;
+}
+
+// ---- strided transfers / local pointers ----
+
+void ShmemPe::iput(RankId dst, SymAddr dest, std::span<const std::byte> data,
+                   std::uint32_t dst_stride, std::uint32_t src_stride,
+                   std::uint32_t elem, std::uint32_t nelems) {
+  if (dst_stride == 0 || src_stride == 0 || elem == 0) {
+    throw std::invalid_argument("ShmemPe::iput: zero stride or element");
+  }
+  if (static_cast<std::uint64_t>(nelems - 1) * src_stride * elem + elem >
+          data.size() &&
+      nelems > 0) {
+    throw std::out_of_range("ShmemPe::iput: source too small");
+  }
+  for (std::uint32_t k = 0; k < nelems; ++k) {
+    put_nbi(dst,
+            dest + static_cast<std::uint64_t>(k) * dst_stride * elem,
+            data.subspan(static_cast<std::size_t>(k) * src_stride * elem,
+                         elem));
+  }
+}
+
+sim::Task<> ShmemPe::iget(RankId dst, std::span<std::byte> dest, SymAddr src,
+                          std::uint32_t dst_stride, std::uint32_t src_stride,
+                          std::uint32_t elem, std::uint32_t nelems) {
+  if (dst_stride == 0 || src_stride == 0 || elem == 0) {
+    throw std::invalid_argument("ShmemPe::iget: zero stride or element");
+  }
+  for (std::uint32_t k = 0; k < nelems; ++k) {
+    co_await get(dst,
+                 src + static_cast<std::uint64_t>(k) * src_stride * elem,
+                 dest.subspan(static_cast<std::size_t>(k) * dst_stride * elem,
+                              elem));
+  }
+}
+
+std::optional<std::span<std::byte>> ShmemPe::local_ptr(RankId peer,
+                                                       SymAddr addr,
+                                                       std::size_t len) {
+  if (peer >= n_pes()) {
+    throw std::out_of_range("ShmemPe::local_ptr: bad rank");
+  }
+  if (job_.conduit_job().node_of(peer) != conduit_.node()) {
+    return std::nullopt;  // different node: no load/store path
+  }
+  return job_.pe(peer).local_window(addr, len);
+}
+
+// ---- ordering ----
+
+sim::Task<> ShmemPe::quiet() {
+  while (pending_puts_ > 0) {
+    co_await puts_drained_->wait();
+  }
+}
+
+sim::Task<> ShmemPe::wait_until(SymAddr addr, WaitCmp cmp,
+                                std::uint64_t value) {
+  auto satisfied = [&] {
+    std::uint64_t current = local_read<std::uint64_t>(addr);
+    switch (cmp) {
+      case WaitCmp::kEq: return current == value;
+      case WaitCmp::kNe: return current != value;
+      case WaitCmp::kGt: return current > value;
+      case WaitCmp::kGe: return current >= value;
+      case WaitCmp::kLt: return current < value;
+      case WaitCmp::kLe: return current <= value;
+    }
+    return false;
+  };
+  while (!satisfied()) {
+    co_await engine().delay(config().wait_poll_interval);
+  }
+}
+
+sim::Task<> ShmemPe::barrier_all() {
+  co_await quiet();
+  co_await conduit_.barrier_global();
+  stats().add("shmem_barrier_all");
+}
+
+// ---- distributed locking ----
+//
+// The word on PE 0 is the authoritative lock; 0 = free, rank+1 = holder.
+// Acquisition spins on remote compare-and-swap with exponential backoff —
+// the simple (non-queueing) algorithm several OpenSHMEM implementations
+// ship for shmem_set_lock.
+
+sim::Task<> ShmemPe::set_lock(SymAddr lock) {
+  stats().add("shmem_lock_acquire");
+  sim::Time backoff = 2 * sim::usec;
+  while (true) {
+    std::uint64_t old =
+        co_await atomic_compare_swap(0, lock, 0, rank_ + 1);
+    if (old == 0) co_return;
+    co_await engine().delay(backoff);
+    if (backoff < 64 * sim::usec) backoff *= 2;
+  }
+}
+
+sim::Task<bool> ShmemPe::test_lock(SymAddr lock) {
+  std::uint64_t old = co_await atomic_compare_swap(0, lock, 0, rank_ + 1);
+  co_return old == 0;
+}
+
+sim::Task<> ShmemPe::clear_lock(SymAddr lock) {
+  // Complete all our critical-section stores before releasing.
+  co_await quiet();
+  std::uint64_t old = co_await atomic_swap(0, lock, 0);
+  if (old != rank_ + 1) {
+    throw std::logic_error("ShmemPe::clear_lock: not the lock holder");
+  }
+  stats().add("shmem_lock_release");
+}
+
+}  // namespace odcm::shmem

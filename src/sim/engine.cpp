@@ -1,0 +1,62 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace odcm::sim {
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time is in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::spawn(Task<> task) {
+  if (!task.valid()) {
+    throw std::logic_error("Engine::spawn: empty task");
+  }
+  auto handle = task.release();
+  handle.promise().detached_engine = this;
+  ++live_roots_;
+  schedule_at(now_, [handle] { handle.resume(); });
+}
+
+void Engine::run_loop() {
+  while (!queue_.empty()) {
+    // std::priority_queue::top() is const; moving the callable out requires
+    // this cast, which is safe because pop() follows immediately.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_executed_;
+    event.fn();
+    if (root_exception_) {
+      std::exception_ptr exception = std::exchange(root_exception_, nullptr);
+      std::rethrow_exception(exception);
+    }
+  }
+}
+
+void Engine::run() {
+  run_loop();
+  if (live_roots_ != 0) {
+    throw std::runtime_error(
+        "Engine::run: event queue drained with root tasks still blocked "
+        "(simulated deadlock)");
+  }
+}
+
+void Engine::drain() { run_loop(); }
+
+namespace detail {
+
+void finish_root(Engine& engine, std::exception_ptr exception) noexcept {
+  --engine.live_roots_;
+  if (exception && !engine.root_exception_) {
+    engine.root_exception_ = exception;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace odcm::sim

@@ -1,0 +1,115 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a priority queue of (time, sequence, callback) events and a
+// virtual clock. Events scheduled for the same time fire in insertion order,
+// which makes every simulation run bit-for-bit reproducible. Coroutine tasks
+// suspend by scheduling their own resumption as events (see `delay`,
+// `sync.hpp`).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::sim {
+
+/// Single-threaded discrete-event scheduler with a virtual clock.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute virtual time `t` (>= now()).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `dt` nanoseconds from now.
+  void schedule_after(Time dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Awaitable that suspends the calling task for `dt` virtual nanoseconds.
+  ///
+  ///   co_await engine.delay(5 * usec);
+  [[nodiscard]] auto delay(Time dt) {
+    struct Awaiter {
+      Engine& engine;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        engine.schedule_after(dt, [handle] { handle.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Launch a detached root task. The engine assumes ownership of the
+  /// coroutine frame; the task starts when the event queue reaches the
+  /// current time. `run()` returns only after all root tasks finish.
+  void spawn(Task<> task);
+
+  /// Run until the event queue drains. Rethrows the first exception that
+  /// escaped a root task. Throws `std::runtime_error` if root tasks remain
+  /// unfinished when the queue empties (deadlock in the simulated system).
+  void run();
+
+  /// Run until the event queue drains, without the root-task completion
+  /// check. Useful for tests that intentionally leave tasks blocked.
+  void drain();
+
+  /// Number of root tasks spawned and not yet finished.
+  [[nodiscard]] std::size_t live_root_tasks() const noexcept {
+    return live_roots_;
+  }
+
+  /// Total events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+ private:
+  friend void detail::finish_root(Engine&, std::exception_ptr) noexcept;
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run_loop();
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_{};
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::size_t live_roots_ = 0;
+  std::exception_ptr root_exception_{};
+};
+
+/// Spawn a value-returning task as a detached root, discarding its result.
+/// Useful for fire-and-forget operations (e.g. non-blocking puts) whose
+/// completion the engine must still wait for.
+template <typename T>
+void spawn_discard(Engine& engine, Task<T> task) {
+  engine.spawn([](Task<T> inner) -> Task<> {
+    (void)co_await std::move(inner);
+  }(std::move(task)));
+}
+
+}  // namespace odcm::sim

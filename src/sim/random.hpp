@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component (UD packet loss, latency jitter, workload data)
+// derives its stream from a seed in the run configuration, so two runs with
+// the same configuration are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace odcm::sim {
+
+/// SplitMix64 generator: tiny state, good statistical quality for
+/// simulation purposes, and trivially seedable per component.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Derive an independent child stream (e.g. one per QP).
+  Rng fork() { return Rng(next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace odcm::sim

@@ -1,0 +1,101 @@
+// Lightweight instrumentation: named counters and phase timers.
+//
+// The startup benchmarks (Figs 1, 5) need per-PE breakdowns of where virtual
+// time went (PMI exchange, connection setup, memory registration, ...), and
+// the resource benchmarks (Fig 9, Table I) need event counts (QPs created,
+// connections established, distinct peers). `StatSet` collects both.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::sim {
+
+/// A bag of named integer counters and named accumulated durations.
+class StatSet {
+ public:
+  /// Increment counter `name` by `delta`.
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Accumulate `dt` of virtual time into phase `name`.
+  void add_time(const std::string& name, Time dt) { phases_[name] += dt; }
+
+  [[nodiscard]] std::int64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] Time phase_time(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Time>& phases() const {
+    return phases_;
+  }
+
+  /// Merge another stat set into this one (for job-wide aggregation).
+  void merge(const StatSet& other) {
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+    for (const auto& [name, value] : other.phases_) phases_[name] += value;
+  }
+
+  void clear() {
+    counters_.clear();
+    phases_.clear();
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_{};
+  std::map<std::string, Time> phases_{};
+};
+
+/// RAII-style phase timer against the virtual clock.
+///
+///   {
+///     PhaseTimer timer(engine, stats, "pmi_exchange");
+///     co_await client.fence();
+///   }   // elapsed virtual time accumulated into "pmi_exchange"
+///
+/// NOTE: with coroutines the destructor runs on the awaiting task's frame
+/// destruction path as usual; the pattern works because the frame lives
+/// across suspensions.
+class PhaseTimer {
+ public:
+  PhaseTimer(Engine& engine, StatSet& stats, std::string phase)
+      : engine_(&engine),
+        stats_(&stats),
+        phase_(std::move(phase)),
+        start_(engine.now()) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() { stop(); }
+
+  /// Stop early (idempotent).
+  void stop() {
+    if (stats_ != nullptr) {
+      stats_->add_time(phase_, engine_->now() - start_);
+      stats_ = nullptr;
+    }
+  }
+
+ private:
+  Engine* engine_;
+  StatSet* stats_;
+  std::string phase_;
+  Time start_;
+};
+
+}  // namespace odcm::sim

@@ -1,0 +1,300 @@
+// Coroutine synchronization primitives for the discrete-event engine.
+//
+// All primitives resume waiters through the engine's event queue (never
+// inline), so wakeup order is deterministic and independent of which task
+// performed the notify.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::sim {
+
+/// One-shot event. Once opened it stays open; `wait()` after `open()`
+/// completes immediately.
+class Gate {
+ public:
+  explicit Gate(Engine& engine) : engine_(&engine) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  /// Open the gate and schedule every waiter for resumption.
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (auto& waiter : waiters_) {
+      if (!waiter->fired) {
+        waiter->fired = true;
+        auto handle = waiter->handle;
+        engine_->schedule_at(engine_->now(), [handle] { handle.resume(); });
+      }
+    }
+    waiters_.clear();
+  }
+
+  /// Awaitable: suspend until the gate opens (no-op if already open).
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        auto waiter = std::make_shared<Waiter>();
+        waiter->handle = handle;
+        gate.waiters_.push_back(std::move(waiter));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Awaitable: suspend until the gate opens or `timeout` elapses.
+  /// `co_await` yields true if the gate opened, false on timeout.
+  [[nodiscard]] auto wait_for(Time timeout) {
+    struct Awaiter {
+      Gate& gate;
+      Time timeout;
+      std::shared_ptr<Waiter> waiter{};
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        waiter = std::make_shared<Waiter>();
+        waiter->handle = handle;
+        gate.waiters_.push_back(waiter);
+        auto shared = waiter;
+        gate.engine_->schedule_after(timeout, [shared] {
+          if (!shared->fired) {
+            shared->fired = true;
+            shared->timed_out = true;
+            shared->handle.resume();
+          }
+        });
+      }
+      bool await_resume() const noexcept {
+        return waiter == nullptr || !waiter->timed_out;
+      }
+    };
+    return Awaiter{*this, timeout};
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle{};
+    bool fired = false;
+    bool timed_out = false;
+  };
+
+  Engine* engine_;
+  bool open_ = false;
+  std::vector<std::shared_ptr<Waiter>> waiters_{};
+};
+
+/// Multi-shot condition: `notify_all()` wakes every task currently waiting;
+/// tasks that wait afterwards block until the next notification.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(&engine) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  void notify_all() {
+    std::vector<std::coroutine_handle<>> waiters;
+    waiters.swap(waiters_);
+    for (auto handle : waiters) {
+      engine_->schedule_at(engine_->now(), [handle] { handle.resume(); });
+    }
+  }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Trigger& trigger;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        trigger.waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  Engine* engine_;
+  std::vector<std::coroutine_handle<>> waiters_{};
+};
+
+/// Unbounded FIFO channel. `pop()` suspends while empty; `push()` wakes the
+/// oldest waiter. Used for completion queues, receive queues and daemons.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : engine_(&engine) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void push(T item) {
+    if (closed_) {
+      throw std::logic_error("Mailbox::push: mailbox is closed");
+    }
+    items_.push_back(std::move(item));
+    wake_one();
+  }
+
+  /// Close the mailbox: pending and future `pop_or_closed` calls return
+  /// nullopt once the queue drains. Used to shut down listener loops.
+  void close() {
+    closed_ = true;
+    while (!waiters_.empty()) wake_one();
+  }
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  /// Non-blocking pop; returns nullopt if empty.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Awaitable pop: suspends until an item is available.
+  [[nodiscard]] Task<T> pop() {
+    while (items_.empty()) {
+      co_await NonEmptyAwaiter{*this};
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    co_return item;
+  }
+
+  /// Awaitable pop that also wakes on close(): returns nullopt when the
+  /// mailbox is closed and drained.
+  [[nodiscard]] Task<std::optional<T>> pop_or_closed() {
+    while (items_.empty() && !closed_) {
+      co_await NonEmptyAwaiter{*this};
+    }
+    if (items_.empty()) {
+      co_return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    co_return item;
+  }
+
+ private:
+  struct NonEmptyAwaiter {
+    Mailbox& mailbox;
+    bool await_ready() const noexcept {
+      return !mailbox.items_.empty() || mailbox.closed_;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      mailbox.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  void wake_one() {
+    if (waiters_.empty()) return;
+    auto handle = waiters_.front();
+    waiters_.pop_front();
+    engine_->schedule_at(engine_->now(), [handle] { handle.resume(); });
+  }
+
+  Engine* engine_;
+  bool closed_ = false;
+  std::deque<T> items_{};
+  std::deque<std::coroutine_handle<>> waiters_{};
+};
+
+/// Counting semaphore; used to model finite NIC processing slots.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t initial)
+      : engine_(&engine), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  [[nodiscard]] Task<> acquire() {
+    while (count_ == 0) {
+      co_await AvailableAwaiter{*this};
+    }
+    --count_;
+  }
+
+  void release() {
+    ++count_;
+    if (!waiters_.empty()) {
+      auto handle = waiters_.front();
+      waiters_.pop_front();
+      engine_->schedule_at(engine_->now(), [handle] { handle.resume(); });
+    }
+  }
+
+  [[nodiscard]] std::size_t available() const noexcept { return count_; }
+
+ private:
+  struct AvailableAwaiter {
+    Semaphore& semaphore;
+    bool await_ready() const noexcept { return semaphore.count_ > 0; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      semaphore.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Engine* engine_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_{};
+};
+
+/// Join helper: counts down as spawned children finish; `wait()` resumes
+/// when all registered children completed. Children must not outlive it.
+class JoinCounter {
+ public:
+  explicit JoinCounter(Engine& engine) : gate_(engine) {}
+
+  /// Register one more child.
+  void add(std::size_t n = 1) {
+    if (done_) throw std::logic_error("JoinCounter: add after completion");
+    pending_ += n;
+  }
+
+  /// Mark one child finished.
+  void finish() {
+    if (pending_ == 0) throw std::logic_error("JoinCounter: finish underflow");
+    if (--pending_ == 0) {
+      done_ = true;
+      gate_.open();
+    }
+  }
+
+  [[nodiscard]] auto wait() {
+    if (pending_ == 0) {
+      done_ = true;
+      gate_.open();
+    }
+    return gate_.wait();
+  }
+
+ private:
+  Gate gate_;
+  std::size_t pending_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace odcm::sim

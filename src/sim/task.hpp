@@ -1,0 +1,157 @@
+// Coroutine task type used by every simulated entity (PE programs, protocol
+// state machines, daemons).
+//
+// `Task<T>` is a lazily-started coroutine: creating one does nothing until it
+// is either `co_await`ed by another task (structured, value-returning use) or
+// handed to `Engine::spawn` as a detached root task. Completion resumes the
+// awaiting parent via symmetric transfer, so arbitrarily deep call chains use
+// O(1) stack.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace odcm::sim {
+
+class Engine;
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+// Called from a root task's final suspend; defined in engine.cpp.
+void finish_root(Engine& engine, std::exception_ptr exception) noexcept;
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  Engine* detached_engine = nullptr;
+  std::exception_ptr exception{};
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> self) const noexcept {
+      PromiseBase& promise = self.promise();
+      if (promise.continuation) {
+        return promise.continuation;
+      }
+      if (promise.detached_engine != nullptr) {
+        // Detached root task: nobody owns the handle, so the frame is
+        // destroyed here (legal: the coroutine is suspended at final
+        // suspend) and the engine is notified of completion.
+        Engine* engine = promise.detached_engine;
+        std::exception_ptr exception = promise.exception;
+        self.destroy();
+        finish_root(*engine, exception);
+      }
+      return std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : PromiseBase {
+  std::optional<T> value{};
+
+  Task<T> get_return_object() noexcept;
+  void return_value(T result) { value.emplace(std::move(result)); }
+};
+
+template <>
+struct TaskPromise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing `T` (or nothing for `T = void`).
+///
+/// Ownership: a `Task` owns its coroutine frame and destroys it on
+/// destruction. `Engine::spawn` takes over ownership for detached roots.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle handle) noexcept : handle_(handle) {}
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { destroy(); }
+
+  /// True if this task still refers to a coroutine frame.
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+
+  /// Relinquish ownership of the coroutine handle (used by Engine::spawn).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+  // Awaiter interface: `co_await task` starts the child and suspends the
+  // parent until the child completes.
+  bool await_ready() const noexcept { return false; }
+
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> continuation) noexcept {
+    handle_.promise().continuation = continuation;
+    return handle_;
+  }
+
+  T await_resume() {
+    promise_type& promise = handle_.promise();
+    if (promise.exception) {
+      std::rethrow_exception(promise.exception);
+    }
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(*promise.value);
+    }
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace odcm::sim

@@ -1,0 +1,301 @@
+// End-to-end tests for the application kernels: every kernel must verify
+// its own data movement / reference solution under both designs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/ep.hpp"
+#include "apps/graph500.hpp"
+#include "apps/grid_kernel.hpp"
+#include "apps/heat2d.hpp"
+#include "apps/hello.hpp"
+#include "apps/mg.hpp"
+#include "mpi/mpi.hpp"
+#include "shmem/job.hpp"
+
+namespace odcm::apps {
+namespace {
+
+shmem::ShmemJobConfig job_config(std::uint32_t ranks, std::uint32_t ppn,
+                                 core::ConduitConfig conduit =
+                                     core::proposed_design()) {
+  shmem::ShmemJobConfig config;
+  config.job.ranks = ranks;
+  config.job.ranks_per_node = ppn;
+  config.job.conduit = conduit;
+  config.shmem.heap_bytes = 1 << 20;
+  config.shmem.shared_memory_base = 100 * sim::usec;
+  config.shmem.shared_memory_per_pe = 10 * sim::usec;
+  config.shmem.init_misc = 50 * sim::usec;
+  return config;
+}
+
+/// Run a SHMEM-only kernel on every PE; returns per-PE results.
+template <typename Fn>
+std::vector<KernelResult> run_kernel(std::uint32_t ranks, std::uint32_t ppn,
+                                     Fn kernel,
+                                     core::ConduitConfig conduit =
+                                         core::proposed_design()) {
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, job_config(ranks, ppn, conduit));
+  std::vector<KernelResult> results(ranks);
+  job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await kernel(pe, results[pe.rank()]);
+    co_await pe.finalize();
+  });
+  engine.run();
+  return results;
+}
+
+void expect_all_verified(const std::vector<KernelResult>& results) {
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    EXPECT_TRUE(results[r].verified) << "rank " << r << ": "
+                                     << results[r].error;
+  }
+}
+
+TEST(Hello, RunsUnderBothDesigns) {
+  for (auto conduit : {core::proposed_design(), core::current_design()}) {
+    sim::Engine engine;
+    shmem::ShmemJob job(engine, job_config(8, 4, conduit));
+    job.spawn_all([](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await hello_pe(pe, HelloParams{});
+    });
+    engine.run();
+  }
+}
+
+TEST(Heat2d, VerifiesAgainstSerialReference) {
+  for (std::uint32_t ranks : {1u, 4u, 6u}) {
+    Heat2dParams params;
+    params.global_n = 24;
+    params.iters = 12;
+    auto results = run_kernel(
+        ranks, 2,
+        [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+          co_await heat2d_pe(pe, params, out);
+        });
+    expect_all_verified(results);
+  }
+}
+
+TEST(Heat2d, VerifiesUnderStaticDesign) {
+  Heat2dParams params;
+  params.global_n = 16;
+  params.iters = 9;  // odd iteration count exercises buffer flip
+  auto results = run_kernel(
+      4, 2,
+      [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await heat2d_pe(pe, params, out);
+      },
+      core::current_design());
+  expect_all_verified(results);
+}
+
+TEST(Ep, LcgSeekMatchesSequential) {
+  // ep_reference(a, n) ++ ep_reference(a+n, m) must equal
+  // ep_reference(a, n+m).
+  EpCounts whole = ep_reference(0, 1000);
+  EpCounts first = ep_reference(0, 400);
+  EpCounts second = ep_reference(400, 600);
+  EXPECT_EQ(whole.accepted, first.accepted + second.accepted);
+  for (std::size_t b = 0; b < whole.bins.size(); ++b) {
+    EXPECT_EQ(whole.bins[b], first.bins[b] + second.bins[b]);
+  }
+  EXPECT_NEAR(whole.sx, first.sx + second.sx, 1e-9);
+}
+
+TEST(Ep, AcceptanceRateIsPlausible) {
+  // Marsaglia polar accepts ~ pi/4 of pairs.
+  EpCounts counts = ep_reference(0, 100000);
+  double rate = static_cast<double>(counts.accepted) / 100000.0;
+  EXPECT_NEAR(rate, 0.785, 0.01);
+}
+
+TEST(Ep, ParallelMatchesSerial) {
+  for (std::uint32_t ranks : {1u, 4u, 8u}) {
+    EpParams params;
+    params.log2_pairs = 14;
+    auto results = run_kernel(
+        ranks, 4,
+        [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+          co_await ep_pe(pe, params, out);
+        });
+    expect_all_verified(results);
+  }
+}
+
+TEST(GridKernel, BtHalosVerify) {
+  GridKernelParams params = bt_params();
+  params.iters = 6;
+  params.face_elems = 32;
+  for (std::uint32_t ranks : {4u, 16u}) {
+    auto results = run_kernel(
+        ranks, 4,
+        [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+          co_await grid_kernel_pe(pe, params, out);
+        });
+    expect_all_verified(results);
+  }
+}
+
+TEST(GridKernel, SpHalosVerifyUnderStatic) {
+  GridKernelParams params = sp_params();
+  params.iters = 6;
+  params.face_elems = 16;
+  auto results = run_kernel(
+      8, 4,
+      [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await grid_kernel_pe(pe, params, out);
+      },
+      core::current_design());
+  expect_all_verified(results);
+}
+
+TEST(GridKernel, NonSquareGridWorks) {
+  GridKernelParams params = bt_params();
+  params.iters = 4;
+  params.face_elems = 8;
+  auto results = run_kernel(
+      6, 3,
+      [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await grid_kernel_pe(pe, params, out);
+      });
+  expect_all_verified(results);
+}
+
+TEST(Mg, HalosVerifyOn3dGrids) {
+  MgParams params;
+  params.vcycles = 3;
+  params.levels = 3;
+  params.finest_face_elems = 64;
+  for (std::uint32_t ranks : {4u, 8u}) {
+    auto results = run_kernel(
+        ranks, 4,
+        [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+          co_await mg_pe(pe, params, out);
+        });
+    expect_all_verified(results);
+  }
+}
+
+TEST(PeerCounts, EpTalksToFewerPeersThanBt) {
+  // Table I's qualitative ordering at equal PE count.
+  auto peers_of = [](auto kernel_factory) {
+    sim::Engine engine;
+    shmem::ShmemJob job(engine, job_config(16, 4));
+    std::vector<KernelResult> results(16);
+    job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await pe.start_pes();
+      co_await kernel_factory(pe, results[pe.rank()]);
+      co_await pe.finalize();
+    });
+    engine.run();
+    double total = 0;
+    for (RankId r = 0; r < 16; ++r) {
+      total += static_cast<double>(job.pe(r).communicating_peers());
+    }
+    return total / 16.0;
+  };
+  EpParams ep;
+  ep.log2_pairs = 10;
+  GridKernelParams bt = bt_params();
+  bt.iters = 3;
+  bt.face_elems = 8;
+  double ep_peers = peers_of(
+      [ep](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await ep_pe(pe, ep, out);
+      });
+  double bt_peers = peers_of(
+      [bt](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await grid_kernel_pe(pe, bt, out);
+      });
+  EXPECT_LT(ep_peers, bt_peers);
+  EXPECT_LT(bt_peers, 16.0);  // far from all-to-all
+}
+
+struct HybridEnv {
+  explicit HybridEnv(std::uint32_t ranks, std::uint32_t ppn)
+      : job(engine, job_config(ranks, ppn)) {
+    for (RankId r = 0; r < ranks; ++r) {
+      comms.push_back(
+          std::make_unique<mpi::MpiComm>(job.conduit_job().conduit(r)));
+    }
+  }
+  sim::Engine engine;
+  shmem::ShmemJob job;
+  std::vector<std::unique_ptr<mpi::MpiComm>> comms;
+};
+
+TEST(Graph500, HybridBfsValidates) {
+  for (std::uint32_t ranks : {2u, 4u, 8u}) {
+    HybridEnv env(ranks, 2);
+    Graph500Params params;
+    params.vertices = 128;
+    params.edges = 512;
+    std::vector<KernelResult> results(ranks);
+    env.job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await pe.start_pes();
+      co_await graph500_pe(pe, *env.comms[pe.rank()], params,
+                           results[pe.rank()]);
+      co_await pe.finalize();
+    });
+    env.engine.run();
+    expect_all_verified(results);
+  }
+}
+
+TEST(Graph500, PaperScaleGraphValidates) {
+  // The paper's evaluation graph: 1,024 vertices and 16,384 edges.
+  HybridEnv env(8, 4);
+  Graph500Params params;  // defaults match the paper
+  std::vector<KernelResult> results(8);
+  env.job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await graph500_pe(pe, *env.comms[pe.rank()], params,
+                         results[pe.rank()]);
+    co_await pe.finalize();
+  });
+  env.engine.run();
+  expect_all_verified(results);
+}
+
+TEST(Graph500, DisconnectedGraphHandled) {
+  HybridEnv env(4, 2);
+  Graph500Params params;
+  params.vertices = 64;
+  params.edges = 20;  // sparse: most vertices unreachable
+  std::vector<KernelResult> results(4);
+  env.job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await graph500_pe(pe, *env.comms[pe.rank()], params,
+                         results[pe.rank()]);
+    co_await pe.finalize();
+  });
+  env.engine.run();
+  expect_all_verified(results);
+}
+
+TEST(Determinism, KernelsReproducible) {
+  auto run_once = [] {
+    Heat2dParams params;
+    params.global_n = 16;
+    params.iters = 8;
+    sim::Engine engine;
+    shmem::ShmemJob job(engine, job_config(4, 2));
+    std::vector<KernelResult> results(4);
+    job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await pe.start_pes();
+      co_await heat2d_pe(pe, params, results[pe.rank()]);
+      co_await pe.finalize();
+    });
+    engine.run();
+    return engine.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace odcm::apps

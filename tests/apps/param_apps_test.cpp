@@ -1,0 +1,180 @@
+// Parameterized verification sweeps for the application kernels: every
+// kernel must verify at every job geometry under both designs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "apps/ep.hpp"
+#include "apps/graph500.hpp"
+#include "apps/grid_kernel.hpp"
+#include "apps/heat2d.hpp"
+#include "apps/mg.hpp"
+#include "mpi/mpi.hpp"
+#include "shmem/job.hpp"
+
+namespace odcm::apps {
+namespace {
+
+shmem::ShmemJobConfig job_config(std::uint32_t ranks, std::uint32_t ppn,
+                                 bool use_static) {
+  shmem::ShmemJobConfig config;
+  config.job.ranks = ranks;
+  config.job.ranks_per_node = ppn;
+  config.job.conduit =
+      use_static ? core::current_design() : core::proposed_design();
+  config.shmem.heap_bytes = 1 << 20;
+  config.shmem.shared_memory_base = 100 * sim::usec;
+  config.shmem.shared_memory_per_pe = 10 * sim::usec;
+  config.shmem.init_misc = 50 * sim::usec;
+  return config;
+}
+
+template <typename Fn>
+std::vector<KernelResult> run_kernel(std::uint32_t ranks, std::uint32_t ppn,
+                                     bool use_static, Fn kernel) {
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, job_config(ranks, ppn, use_static));
+  std::vector<KernelResult> results(ranks);
+  job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await kernel(pe, results[pe.rank()]);
+    co_await pe.finalize();
+  });
+  engine.run();
+  return results;
+}
+
+void expect_verified(const std::vector<KernelResult>& results) {
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    EXPECT_TRUE(results[r].verified)
+        << "rank " << r << ": " << results[r].error;
+  }
+}
+
+using Shape = std::tuple<std::uint32_t /*ranks*/, std::uint32_t /*ppn*/,
+                         bool /*static design*/>;
+
+class KernelShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(KernelShapes, Heat2dVerifies) {
+  auto [ranks, ppn, use_static] = GetParam();
+  Heat2dParams params;
+  params.global_n = 30;
+  params.iters = 7;
+  expect_verified(run_kernel(
+      ranks, ppn, use_static,
+      [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await heat2d_pe(pe, params, out);
+      }));
+}
+
+TEST_P(KernelShapes, EpVerifies) {
+  auto [ranks, ppn, use_static] = GetParam();
+  EpParams params;
+  params.log2_pairs = 12;
+  expect_verified(run_kernel(
+      ranks, ppn, use_static,
+      [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await ep_pe(pe, params, out);
+      }));
+}
+
+TEST_P(KernelShapes, GridKernelHalosVerify) {
+  auto [ranks, ppn, use_static] = GetParam();
+  GridKernelParams params = bt_params();
+  params.iters = 4;
+  params.face_elems = 16;
+  expect_verified(run_kernel(
+      ranks, ppn, use_static,
+      [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await grid_kernel_pe(pe, params, out);
+      }));
+}
+
+TEST_P(KernelShapes, MgHalosVerify) {
+  auto [ranks, ppn, use_static] = GetParam();
+  MgParams params;
+  params.vcycles = 2;
+  params.levels = 3;
+  params.finest_face_elems = 32;
+  expect_verified(run_kernel(
+      ranks, ppn, use_static,
+      [params](shmem::ShmemPe& pe, KernelResult& out) -> sim::Task<> {
+        co_await mg_pe(pe, params, out);
+      }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelShapes,
+    ::testing::Values(Shape{2, 2, false}, Shape{4, 2, false},
+                      Shape{6, 3, false}, Shape{8, 4, false},
+                      Shape{12, 4, false}, Shape{16, 8, false},
+                      Shape{4, 2, true}, Shape{9, 3, false},
+                      Shape{8, 8, true}));
+
+class Graph500Shapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Graph500Shapes, BfsValidates) {
+  auto [ranks, ppn, use_static] = GetParam();
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, job_config(ranks, ppn, use_static));
+  std::vector<std::unique_ptr<mpi::MpiComm>> comms;
+  for (shmem::RankId r = 0; r < ranks; ++r) {
+    comms.push_back(
+        std::make_unique<mpi::MpiComm>(job.conduit_job().conduit(r)));
+  }
+  Graph500Params params;
+  params.vertices = 192;
+  params.edges = 960;
+  std::vector<KernelResult> results(ranks);
+  job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await graph500_pe(pe, *comms[pe.rank()], params, results[pe.rank()]);
+    co_await pe.finalize();
+  });
+  engine.run();
+  expect_verified(results);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Graph500Shapes,
+    ::testing::Values(Shape{2, 1, false}, Shape{3, 3, false},
+                      Shape{6, 2, false}, Shape{8, 4, true},
+                      Shape{12, 4, false}));
+
+// EP's seekable generator: chunked evaluation must be independent of the
+// chunking (associativity of the partition).
+class EpChunking : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EpChunking, PartitionInvariant) {
+  const std::uint32_t chunks = GetParam();
+  const std::uint64_t total = 5000;
+  EpCounts whole = ep_reference(0, total);
+  EpCounts summed;
+  std::uint64_t start = 0;
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    std::uint64_t count = total / chunks + (c < total % chunks ? 1 : 0);
+    EpCounts part = ep_reference(start, count);
+    for (std::size_t b = 0; b < summed.bins.size(); ++b) {
+      summed.bins[b] += part.bins[b];
+    }
+    summed.accepted += part.accepted;
+    summed.sx += part.sx;
+    summed.sy += part.sy;
+    start += count;
+  }
+  EXPECT_EQ(summed.accepted, whole.accepted);
+  for (std::size_t b = 0; b < whole.bins.size(); ++b) {
+    EXPECT_EQ(summed.bins[b], whole.bins[b]);
+  }
+  EXPECT_NEAR(summed.sx, whole.sx, 1e-7);
+  EXPECT_NEAR(summed.sy, whole.sy, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, EpChunking,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31));
+
+}  // namespace
+}  // namespace odcm::apps

@@ -1,0 +1,98 @@
+// Tests for the hybrid MPI+OpenSHMEM sample sort (paper ref. [6]).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "apps/sort.hpp"
+#include "mpi/mpi.hpp"
+#include "shmem/job.hpp"
+
+namespace odcm::apps {
+namespace {
+
+struct HybridEnv {
+  HybridEnv(std::uint32_t ranks, std::uint32_t ppn, std::uint64_t heap) {
+    shmem::ShmemJobConfig config;
+    config.job.ranks = ranks;
+    config.job.ranks_per_node = ppn;
+    config.shmem.heap_bytes = heap;
+    config.shmem.shared_memory_base = 100 * sim::usec;
+    config.shmem.shared_memory_per_pe = 10 * sim::usec;
+    config.shmem.init_misc = 50 * sim::usec;
+    job = std::make_unique<shmem::ShmemJob>(engine, config);
+    for (shmem::RankId r = 0; r < ranks; ++r) {
+      comms.push_back(
+          std::make_unique<mpi::MpiComm>(job->conduit_job().conduit(r)));
+    }
+  }
+
+  std::vector<KernelResult> run(SortParams params) {
+    std::vector<KernelResult> results(comms.size());
+    job->spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await pe.start_pes();
+      co_await sample_sort_pe(pe, *comms[pe.rank()], params,
+                              results[pe.rank()]);
+      co_await pe.finalize();
+    });
+    engine.run();
+    return results;
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<shmem::ShmemJob> job;
+  std::vector<std::unique_ptr<mpi::MpiComm>> comms;
+};
+
+void expect_verified(const std::vector<KernelResult>& results) {
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    EXPECT_TRUE(results[r].verified)
+        << "rank " << r << ": " << results[r].error;
+  }
+}
+
+TEST(SampleSort, SortsAcrossFourPes) {
+  HybridEnv env(4, 2, 1 << 20);
+  SortParams params;
+  params.keys_per_pe = 200;
+  expect_verified(env.run(params));
+}
+
+TEST(SampleSort, SinglePeDegenerate) {
+  HybridEnv env(1, 1, 1 << 20);
+  SortParams params;
+  params.keys_per_pe = 64;
+  expect_verified(env.run(params));
+}
+
+TEST(SampleSort, TinyKeyCountsWithManyPes) {
+  // Fewer keys per PE than PEs: some buckets will be empty.
+  HybridEnv env(12, 4, 1 << 20);
+  SortParams params;
+  params.keys_per_pe = 3;
+  expect_verified(env.run(params));
+}
+
+using Shape = std::tuple<std::uint32_t /*ranks*/, std::uint32_t /*keys*/,
+                         std::uint64_t /*seed*/>;
+
+class SortSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SortSweep, VerifiesAcrossShapesAndSeeds) {
+  auto [ranks, keys, seed] = GetParam();
+  HybridEnv env(ranks, 4, 2ULL << 20);
+  SortParams params;
+  params.keys_per_pe = keys;
+  params.seed = seed;
+  expect_verified(env.run(params));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SortSweep,
+    ::testing::Values(Shape{2, 100, 1}, Shape{3, 333, 2}, Shape{6, 128, 3},
+                      Shape{8, 500, 4}, Shape{8, 1, 5}, Shape{5, 77, 6},
+                      Shape{16, 64, 7}));
+
+}  // namespace
+}  // namespace odcm::apps

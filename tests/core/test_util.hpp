@@ -1,0 +1,33 @@
+// Helpers for conduit-level tests: a one-call job environment.
+#pragma once
+
+#include <functional>
+
+#include "core/conduit.hpp"
+#include "sim/engine.hpp"
+
+namespace odcm::core::testutil {
+
+struct JobEnv {
+  explicit JobEnv(JobConfig config) : job(engine, config) {}
+
+  /// Run `body` on every PE to completion (including finalization).
+  void run(std::function<sim::Task<>(Conduit&)> body) {
+    job.spawn_all(std::move(body));
+    engine.run();
+  }
+
+  sim::Engine engine;
+  ConduitJob job;
+};
+
+inline JobConfig small_job(std::uint32_t ranks, std::uint32_t ppn,
+                           ConduitConfig conduit = proposed_design()) {
+  JobConfig config;
+  config.ranks = ranks;
+  config.ranks_per_node = ppn;
+  config.conduit = conduit;
+  return config;
+}
+
+}  // namespace odcm::core::testutil

@@ -1,0 +1,138 @@
+// Tests for the Tracer and its integration with the connection protocol.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/conduit.hpp"
+#include "sim/trace.hpp"
+#include "test_util.hpp"
+
+namespace odcm::core {
+namespace {
+
+using testutil::JobEnv;
+using testutil::small_job;
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing) {
+  sim::Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record(1, "x", 0, "ignored");
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Tracer, RecordsInOrderWithCounts) {
+  sim::Tracer tracer;
+  tracer.enable();
+  tracer.record(10, "a", 1, "first");
+  tracer.record(20, "b", 2, "second");
+  tracer.record(30, "a", 3, "third");
+  ASSERT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.records()[0].text, "first");
+  EXPECT_EQ(tracer.records()[2].time, 30u);
+  EXPECT_EQ(tracer.count("a"), 2u);
+  EXPECT_EQ(tracer.count("b"), 1u);
+  EXPECT_EQ(tracer.count("missing"), 0u);
+}
+
+TEST(Tracer, RingBufferDropsOldest) {
+  sim::Tracer tracer(4);
+  tracer.enable();
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(static_cast<sim::Time>(i), "e", 0, std::to_string(i));
+  }
+  EXPECT_EQ(tracer.records().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.records().front().text, "6");
+}
+
+TEST(Tracer, CsvDumpIsParseable) {
+  sim::Tracer tracer;
+  tracer.enable();
+  tracer.record(5, "conn.initiate", 3, "to 7");
+  std::ostringstream out;
+  tracer.dump_csv(out);
+  EXPECT_EQ(out.str(),
+            "time_ns,category,actor,text\n5,conn.initiate,3,\"to 7\"\n");
+}
+
+TEST(Tracer, ClearResets) {
+  sim::Tracer tracer;
+  tracer.enable();
+  tracer.record(1, "a", 0, "x");
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.count("a"), 0u);
+}
+
+TEST(TraceIntegration, HandshakeEmitsProtocolEvents) {
+  JobEnv env(small_job(2, 1));
+  env.job.tracer().enable();
+  env.run([](Conduit& c) -> sim::Task<> {
+    c.register_handler(20, [](RankId, std::vector<std::byte>) -> sim::Task<> {
+      co_return;
+    });
+    co_await c.init();
+    if (c.rank() == 0) {
+      co_await c.am_send(1, 20, std::vector<std::byte>(8));
+    }
+    co_await c.barrier_global();
+  });
+  sim::Tracer& tracer = env.job.tracer();
+  EXPECT_GE(tracer.count("conn.initiate"), 1u);
+  EXPECT_GE(tracer.count("conn.established"), 2u);  // client + server side
+  // The first initiate precedes the first established.
+  sim::Time initiated = 0;
+  sim::Time established = 0;
+  for (const auto& record : tracer.records()) {
+    if (record.category == "conn.initiate" && initiated == 0) {
+      initiated = record.time;
+    }
+    if (record.category == "conn.established" && established == 0) {
+      established = record.time;
+    }
+  }
+  EXPECT_LT(initiated, established);
+}
+
+TEST(TraceIntegration, LossyRunShowsRetransmits) {
+  JobConfig config = small_job(2, 1);
+  config.fabric.ud_drop_rate = 0.7;
+  config.fabric.seed = 99;
+  JobEnv env(config);
+  env.job.tracer().enable();
+  env.run([](Conduit& c) -> sim::Task<> {
+    c.register_handler(20, [](RankId, std::vector<std::byte>) -> sim::Task<> {
+      co_return;
+    });
+    co_await c.init();
+    if (c.rank() == 0) {
+      co_await c.am_send(1, 20, std::vector<std::byte>(8));
+    }
+    co_await c.barrier_global();
+  });
+  EXPECT_GE(env.job.tracer().count("conn.retransmit"), 1u);
+}
+
+TEST(TraceIntegration, TraceIsDeterministic) {
+  auto run_once = [] {
+    JobEnv env(small_job(4, 2));
+    env.job.tracer().enable();
+    env.run([](Conduit& c) -> sim::Task<> {
+      c.register_handler(20,
+                         [](RankId, std::vector<std::byte>) -> sim::Task<> {
+                           co_return;
+                         });
+      co_await c.init();
+      co_await c.am_send((c.rank() + 1) % 4, 20, std::vector<std::byte>(8));
+      co_await c.barrier_global();
+    });
+    std::ostringstream out;
+    env.job.tracer().dump_csv(out);
+    return out.str();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace odcm::core

@@ -1,0 +1,65 @@
+// Shared helpers for fabric-level tests: a two-node environment and a
+// coroutine that brings up a connected RC QP pair the way real verbs code
+// does (create → INIT → exchange addresses → RTR → RTS).
+#pragma once
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace odcm::fabric::testutil {
+
+struct Env {
+  explicit Env(FabricConfig config = {}) : fabric(engine, fix(config)) {
+    fabric.hca(0).attach_pe(0);
+    if (config.nodes >= 2 || fabric.config().nodes >= 2) {
+      fabric.hca(1).attach_pe(1);
+    }
+  }
+
+  static FabricConfig fix(FabricConfig config) {
+    if (config.nodes < 2) config.nodes = 2;
+    return config;
+  }
+
+  sim::Engine engine;
+  Fabric fabric;
+};
+
+/// Bring up a connected RC pair: qp_a on node 0 (owner rank 0), qp_b on
+/// node 1 (owner rank 1). Results stored through the out parameters.
+inline sim::Task<> connect_rc_pair(Fabric& fabric, QueuePair*& qp_a,
+                                   QueuePair*& qp_b) {
+  qp_a = co_await fabric.hca(0).create_qp(QpType::kRc, 0);
+  qp_b = co_await fabric.hca(1).create_qp(QpType::kRc, 1);
+  co_await qp_a->transition(QpState::kInit);
+  co_await qp_b->transition(QpState::kInit);
+  qp_a->set_remote(qp_b->addr());
+  qp_b->set_remote(qp_a->addr());
+  co_await qp_a->transition(QpState::kRtr);
+  co_await qp_b->transition(QpState::kRtr);
+  co_await qp_a->transition(QpState::kRts);
+  co_await qp_b->transition(QpState::kRts);
+}
+
+/// Bring up a UD QP in RTS on the given node.
+inline sim::Task<QueuePair*> make_ud_qp(Fabric& fabric, NodeId node,
+                                        RankId owner) {
+  QueuePair* qp = co_await fabric.hca(node).create_qp(QpType::kUd, owner);
+  co_await qp->transition(QpState::kInit);
+  co_await qp->transition(QpState::kRtr);
+  co_await qp->transition(QpState::kRts);
+  co_return qp;
+}
+
+inline std::vector<std::byte> bytes_of(const char* text) {
+  std::vector<std::byte> out(std::strlen(text));
+  std::memcpy(out.data(), text, out.size());
+  return out;
+}
+
+}  // namespace odcm::fabric::testutil

@@ -1,0 +1,171 @@
+// Tests for MPI gather/scatter/sendrecv, plus parameterized collective
+// sweeps over geometry.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "shmem/job.hpp"
+
+namespace odcm::mpi {
+namespace {
+
+struct Env {
+  explicit Env(std::uint32_t ranks, std::uint32_t ppn) {
+    shmem::ShmemJobConfig config;
+    config.job.ranks = ranks;
+    config.job.ranks_per_node = ppn;
+    config.shmem.heap_bytes = 1 << 16;
+    config.shmem.shared_memory_base = 100 * sim::usec;
+    config.shmem.shared_memory_per_pe = 10 * sim::usec;
+    config.shmem.init_misc = 10 * sim::usec;
+    job = std::make_unique<shmem::ShmemJob>(engine, config);
+    for (RankId r = 0; r < ranks; ++r) {
+      comms.push_back(
+          std::make_unique<MpiComm>(job->conduit_job().conduit(r)));
+    }
+  }
+
+  void run(std::function<sim::Task<>(MpiComm&)> body) {
+    auto shared = std::make_shared<std::function<sim::Task<>(MpiComm&)>>(
+        std::move(body));
+    job->conduit_job().spawn_all(
+        [this, shared](core::Conduit& c) -> sim::Task<> {
+          MpiComm& comm = *comms[c.rank()];
+          co_await comm.init();
+          co_await (*shared)(comm);
+          co_await comm.barrier();
+        });
+    engine.run();
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<shmem::ShmemJob> job;
+  std::vector<std::unique_ptr<MpiComm>> comms;
+};
+
+TEST(MpiGather, CollectsToRoot) {
+  Env env(6, 3);
+  env.run([](MpiComm& comm) -> sim::Task<> {
+    std::uint64_t mine = 500 + comm.rank();
+    std::vector<std::byte> out(comm.rank() == 2 ? 8 * 6 : 0);
+    co_await comm.gather(
+        2, std::span<const std::byte>(reinterpret_cast<std::byte*>(&mine), 8),
+        out);
+    if (comm.rank() == 2) {
+      for (RankId r = 0; r < 6; ++r) {
+        std::uint64_t value = 0;
+        std::memcpy(&value, out.data() + r * 8, 8);
+        EXPECT_EQ(value, 500u + r);
+      }
+    }
+  });
+}
+
+TEST(MpiScatter, DistributesFromRoot) {
+  Env env(5, 5);
+  env.run([](MpiComm& comm) -> sim::Task<> {
+    std::vector<std::byte> in;
+    if (comm.rank() == 0) {
+      in.resize(8 * 5);
+      for (RankId r = 0; r < 5; ++r) {
+        std::uint64_t value = 900 + r * r;
+        std::memcpy(in.data() + r * 8, &value, 8);
+      }
+    }
+    std::vector<std::byte> out(8);
+    co_await comm.scatter(0, in, out);
+    std::uint64_t got = 0;
+    std::memcpy(&got, out.data(), 8);
+    EXPECT_EQ(got, 900u + comm.rank() * comm.rank());
+  });
+}
+
+TEST(MpiSendrecv, SymmetricExchangeDoesNotDeadlock) {
+  Env env(2, 1);
+  env.run([](MpiComm& comm) -> sim::Task<> {
+    std::uint64_t mine = 1000 + comm.rank();
+    std::vector<std::byte> got = co_await comm.sendrecv(
+        1 - comm.rank(), 9,
+        std::span<const std::byte>(reinterpret_cast<std::byte*>(&mine), 8));
+    std::uint64_t value = 0;
+    std::memcpy(&value, got.data(), 8);
+    EXPECT_EQ(value, 1000u + (1 - comm.rank()));
+  });
+}
+
+TEST(MpiSendrecv, RingShiftEveryRank) {
+  constexpr std::uint32_t kRanks = 7;
+  Env env(kRanks, 4);
+  env.run([](MpiComm& comm) -> sim::Task<> {
+    // Everyone sendrecvs with its right neighbor... which is a cycle; use
+    // two phases would be MPI-classic, but sendrecv's detached send makes
+    // the full ring safe in one call per direction pair.
+    std::uint64_t mine = 40 + comm.rank();
+    RankId right = (comm.rank() + 1) % kRanks;
+    RankId left = (comm.rank() + kRanks - 1) % kRanks;
+    // Send to right, receive from left.
+    std::vector<std::byte> copy(8);
+    std::memcpy(copy.data(), &mine, 8);
+    sim::spawn_discard(
+        comm.conduit().engine(),
+        [](MpiComm& c, RankId dst, std::vector<std::byte> data)
+            -> sim::Task<int> {
+          co_await c.send(dst, 5, data);
+          co_return 0;
+        }(comm, right, copy));
+    std::vector<std::byte> got = co_await comm.recv(left, 5);
+    std::uint64_t value = 0;
+    std::memcpy(&value, got.data(), 8);
+    EXPECT_EQ(value, 40u + left);
+  });
+}
+
+using Geometry = std::tuple<std::uint32_t, std::uint32_t>;
+
+class MpiCollectiveSweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(MpiCollectiveSweep, GatherScatterAllreduceAgree) {
+  auto [ranks, ppn] = GetParam();
+  Env env(ranks, ppn);
+  env.run([ranks = ranks](MpiComm& comm) -> sim::Task<> {
+    // allreduce
+    std::vector<std::int64_t> v{static_cast<std::int64_t>(comm.rank() + 1)};
+    co_await comm.allreduce<std::int64_t>(v, ReduceOp::kSum);
+    EXPECT_EQ(v[0],
+              static_cast<std::int64_t>(ranks) * (ranks + 1) / 2);
+
+    // gather to last rank, then scatter back shifted by one.
+    RankId root = ranks - 1;
+    std::uint64_t mine = comm.rank() * 11;
+    std::vector<std::byte> gathered(comm.rank() == root ? 8 * ranks : 0);
+    co_await comm.gather(
+        root,
+        std::span<const std::byte>(reinterpret_cast<std::byte*>(&mine), 8),
+        gathered);
+    std::vector<std::byte> rotated(comm.rank() == root ? 8 * ranks : 0);
+    if (comm.rank() == root) {
+      for (RankId r = 0; r < ranks; ++r) {
+        std::memcpy(rotated.data() + r * 8,
+                    gathered.data() + ((r + 1) % ranks) * 8, 8);
+      }
+    }
+    std::vector<std::byte> out(8);
+    co_await comm.scatter(root, rotated, out);
+    std::uint64_t got = 0;
+    std::memcpy(&got, out.data(), 8);
+    EXPECT_EQ(got, ((comm.rank() + 1) % ranks) * 11ULL);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MpiCollectiveSweep,
+                         ::testing::Values(Geometry{1, 1}, Geometry{2, 2},
+                                           Geometry{3, 1}, Geometry{5, 4},
+                                           Geometry{8, 4}, Geometry{13, 4},
+                                           Geometry{16, 8}, Geometry{20, 5}));
+
+}  // namespace
+}  // namespace odcm::mpi

@@ -1,0 +1,220 @@
+// Tests for the MPI-lite layer and the unified-runtime property.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "shmem/job.hpp"
+
+namespace odcm::mpi {
+namespace {
+
+/// Environment with one MpiComm per rank over a shmem job's conduits
+/// (hybrid setting), or pure conduits.
+struct Env {
+  explicit Env(std::uint32_t ranks, std::uint32_t ppn) {
+    shmem::ShmemJobConfig config;
+    config.job.ranks = ranks;
+    config.job.ranks_per_node = ppn;
+    config.shmem.heap_bytes = 1 << 16;
+    config.shmem.shared_memory_base = 100 * sim::usec;
+    config.shmem.shared_memory_per_pe = 10 * sim::usec;
+    config.shmem.init_misc = 10 * sim::usec;
+    job = std::make_unique<shmem::ShmemJob>(engine, config);
+    comms.resize(ranks);
+    for (RankId r = 0; r < ranks; ++r) {
+      comms[r] = std::make_unique<MpiComm>(job->conduit_job().conduit(r));
+    }
+  }
+
+  void run_pure(std::function<sim::Task<>(MpiComm&)> body) {
+    auto shared = std::make_shared<std::function<sim::Task<>(MpiComm&)>>(
+        std::move(body));
+    job->conduit_job().spawn_all(
+        [this, shared](core::Conduit& c) -> sim::Task<> {
+          MpiComm& comm = *comms[c.rank()];
+          co_await comm.init();
+          co_await (*shared)(comm);
+          co_await comm.barrier();
+        });
+    engine.run();
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<shmem::ShmemJob> job;
+  std::vector<std::unique_ptr<MpiComm>> comms;
+};
+
+TEST(Mpi, SendRecvRoundTrip) {
+  Env env(2, 1);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    if (comm.rank() == 0) {
+      co_await comm.send_value<std::uint64_t>(1, 7, 12345);
+      std::uint64_t back = co_await comm.recv_value<std::uint64_t>(1, 8);
+      EXPECT_EQ(back, 54321u);
+    } else {
+      std::uint64_t got = co_await comm.recv_value<std::uint64_t>(0, 7);
+      EXPECT_EQ(got, 12345u);
+      co_await comm.send_value<std::uint64_t>(0, 8, 54321);
+    }
+  });
+}
+
+TEST(Mpi, TagsKeepMessagesApart) {
+  Env env(2, 1);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    if (comm.rank() == 0) {
+      co_await comm.send_value<int>(1, 1, 100);
+      co_await comm.send_value<int>(1, 2, 200);
+    } else {
+      // Receive in reverse tag order.
+      int second = co_await comm.recv_value<int>(0, 2);
+      int first = co_await comm.recv_value<int>(0, 1);
+      EXPECT_EQ(first, 100);
+      EXPECT_EQ(second, 200);
+    }
+  });
+}
+
+TEST(Mpi, SameTagPreservesOrder) {
+  Env env(2, 1);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        co_await comm.send_value<int>(1, 5, i);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int got = co_await comm.recv_value<int>(0, 5);
+        EXPECT_EQ(got, i);
+      }
+    }
+  });
+}
+
+TEST(Mpi, LargeMessage) {
+  Env env(2, 1);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    const std::size_t len = 256 * 1024;
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        data[i] = static_cast<std::byte>(i % 251);
+      }
+      co_await comm.send(1, 3, data);
+    } else {
+      std::vector<std::byte> got = co_await comm.recv(0, 3);
+      EXPECT_EQ(got.size(), len);
+      bool ok = true;
+      for (std::size_t i = 0; i < len; ++i) {
+        ok = ok && got[i] == static_cast<std::byte>(i % 251);
+      }
+      EXPECT_TRUE(ok);
+    }
+  });
+}
+
+TEST(Mpi, BcastFromEveryRoot) {
+  Env env(6, 3);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    for (RankId root = 0; root < 6; ++root) {
+      std::uint64_t value = comm.rank() == root ? 4000 + root : 0;
+      std::span<std::byte> view(reinterpret_cast<std::byte*>(&value), 8);
+      co_await comm.bcast(root, view);
+      EXPECT_EQ(value, 4000u + root);
+    }
+  });
+}
+
+TEST(Mpi, AllreduceSumAndMax) {
+  Env env(8, 4);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    std::vector<std::int64_t> sum{static_cast<std::int64_t>(comm.rank()), 1};
+    co_await comm.allreduce<std::int64_t>(sum, ReduceOp::kSum);
+    EXPECT_EQ(sum[0], 28);  // 0+..+7
+    EXPECT_EQ(sum[1], 8);
+
+    std::vector<std::int64_t> max{static_cast<std::int64_t>(comm.rank() * 3)};
+    co_await comm.allreduce<std::int64_t>(max, ReduceOp::kMax);
+    EXPECT_EQ(max[0], 21);
+  });
+}
+
+TEST(Mpi, ReduceToNonZeroRoot) {
+  Env env(5, 5);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    std::vector<std::int64_t> v{1};
+    co_await comm.reduce<std::int64_t>(3, v, ReduceOp::kSum);
+    if (comm.rank() == 3) {
+      EXPECT_EQ(v[0], 5);
+    }
+    co_await comm.barrier();
+  });
+}
+
+TEST(Mpi, Allgather) {
+  constexpr std::uint32_t kRanks = 7;
+  Env env(kRanks, 4);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    std::uint64_t mine = 900 + comm.rank();
+    std::vector<std::byte> out(8 * kRanks);
+    co_await comm.allgather(
+        std::span<const std::byte>(reinterpret_cast<std::byte*>(&mine), 8),
+        out);
+    for (RankId r = 0; r < kRanks; ++r) {
+      std::uint64_t value = 0;
+      std::memcpy(&value, out.data() + r * 8, 8);
+      EXPECT_EQ(value, 900u + r);
+    }
+  });
+}
+
+TEST(Mpi, BarrierSynchronizes) {
+  Env env(4, 2);
+  std::vector<sim::Time> passed(4, 0);
+  env.run_pure([&passed](MpiComm& comm) -> sim::Task<> {
+    if (comm.rank() == 2) {
+      co_await comm.conduit().engine().delay(1 * sim::msec);
+    }
+    co_await comm.barrier();
+    passed[comm.rank()] = comm.conduit().engine().now();
+  });
+  for (RankId r = 0; r < 4; ++r) EXPECT_GE(passed[r], 1 * sim::msec);
+}
+
+TEST(Hybrid, ShmemAndMpiShareConnections) {
+  // The unified-runtime property: SHMEM put + MPI send to the same peer use
+  // one connection, not two.
+  Env env(2, 1);
+  env.job->spawn_all([&env](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    MpiComm& comm = *env.comms[pe.rank()];
+    shmem::SymAddr slot = pe.heap().allocate(8);
+    if (pe.rank() == 0) {
+      co_await pe.put_value<std::uint64_t>(1, slot, 1);
+      co_await comm.send_value<int>(1, 1, 2);
+    } else {
+      int got = co_await comm.recv_value<int>(0, 1);
+      EXPECT_EQ(got, 2);
+    }
+    co_await pe.finalize();
+  });
+  env.engine.run();
+  EXPECT_EQ(env.job->pe(0).stats().counter("connections_established"), 1);
+  EXPECT_EQ(env.job->pe(0).communicating_peers(), 1u);
+}
+
+TEST(Mpi, WtimeAdvances) {
+  Env env(1, 1);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    double t0 = comm.wtime();
+    co_await comm.conduit().engine().delay(2 * sim::msec);
+    double t1 = comm.wtime();
+    EXPECT_NEAR(t1 - t0, 0.002, 1e-9);
+  });
+}
+
+}  // namespace
+}  // namespace odcm::mpi

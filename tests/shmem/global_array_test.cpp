@@ -1,0 +1,153 @@
+// Tests for the UPC-style GlobalArray layer.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "shmem/global_array.hpp"
+#include "sim/random.hpp"
+#include "shmem/job.hpp"
+#include "test_util.hpp"
+
+namespace odcm::shmem {
+namespace {
+
+using testutil::JobEnv;
+using testutil::small_job;
+using testutil::with_init;
+
+TEST(GlobalArray, OwnershipLayout) {
+  JobEnv env(small_job(4, 2));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    GlobalArray<std::uint64_t> array(pe, 10);
+    EXPECT_EQ(array.block(), 3u);  // ceil(10/4)
+    EXPECT_EQ(array.owner(0), 0u);
+    EXPECT_EQ(array.owner(2), 0u);
+    EXPECT_EQ(array.owner(3), 1u);
+    EXPECT_EQ(array.owner(9), 3u);
+    EXPECT_THROW((void)array.owner(10), std::out_of_range);
+    auto [lo, hi] = array.local_range();
+    EXPECT_EQ(lo, pe.rank() * 3u);
+    EXPECT_EQ(hi, std::min<std::uint64_t>(10, lo + 3));
+    co_await array.sync();
+  }));
+}
+
+TEST(GlobalArray, RemoteReadWriteByGlobalIndex) {
+  JobEnv env(small_job(4, 2));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    GlobalArray<std::uint64_t> array(pe, 16);
+    // Initialize local elements, sync, then read shifted remotely.
+    auto [lo, hi] = array.local_range();
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      array.local_set(i, i * i);
+    }
+    co_await array.sync();
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      std::uint64_t i = (k + pe.rank() * 5) % 16;
+      std::uint64_t value = co_await array.read(i);
+      EXPECT_EQ(value, i * i);
+    }
+    co_await array.sync();  // nobody may write while others still read
+    // Each PE writes one element it does not own.
+    std::uint64_t target = (pe.rank() * array.block() + 7) % 16;
+    co_await array.write(target, 5000 + target);
+    co_await array.sync();
+    std::uint64_t back = co_await array.read(target);
+    EXPECT_EQ(back, 5000 + target);
+  }));
+}
+
+TEST(GlobalArray, FetchAddAccumulates) {
+  constexpr std::uint32_t kRanks = 6;
+  JobEnv env(small_job(kRanks, 3));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    GlobalArray<std::uint64_t> counters(pe, 4);
+    if (pe.rank() == 0) {
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        co_await counters.write(i, 0);
+      }
+    }
+    co_await counters.sync();
+    for (int round = 0; round < 3; ++round) {
+      (void)co_await counters.fetch_add(pe.rank() % 4, 1);
+    }
+    co_await counters.sync();
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      total += co_await counters.read(i);
+    }
+    EXPECT_EQ(total, kRanks * 3u);
+  }));
+}
+
+TEST(GlobalArray, RangeOpsSpanOwners) {
+  JobEnv env(small_job(4, 2));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    GlobalArray<std::uint32_t> array(pe, 21);  // block 6: uneven tail
+    if (pe.rank() == 0) {
+      std::vector<std::uint32_t> all(21);
+      for (std::uint32_t i = 0; i < 21; ++i) all[i] = 7000 + i;
+      co_await array.write_range(0, all);
+    }
+    co_await array.sync();
+    // Every PE bulk-reads a window crossing two owners.
+    std::vector<std::uint32_t> window(9);
+    co_await array.read_range(4, window);
+    for (std::uint32_t k = 0; k < 9; ++k) {
+      EXPECT_EQ(window[k], 7004 + k);
+    }
+  }));
+}
+
+TEST(GlobalArray, LocalAccessGuards) {
+  JobEnv env(small_job(2, 2));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    GlobalArray<std::uint64_t> array(pe, 8);
+    std::uint64_t remote_index = pe.rank() == 0 ? 7 : 0;
+    EXPECT_THROW((void)array.local_get(remote_index), std::logic_error);
+    EXPECT_THROW(array.local_set(remote_index, 1), std::logic_error);
+    co_await array.sync();
+  }));
+}
+
+using Shape =
+    std::tuple<std::uint32_t /*ranks*/, std::uint64_t /*elements*/>;
+
+class GlobalArraySweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GlobalArraySweep, GupsStyleRandomUpdatesConserveTotal) {
+  auto [ranks, elements] = GetParam();
+  JobEnv env(small_job(ranks, 2));
+  env.run(with_init([elements = elements](ShmemPe& pe) -> sim::Task<> {
+    GlobalArray<std::uint64_t> table(pe, elements);
+    auto [lo, hi] = table.local_range();
+    for (std::uint64_t i = lo; i < hi; ++i) table.local_set(i, 0);
+    co_await table.sync();
+
+    // 32 random updates per PE (deterministic per-rank stream).
+    sim::Rng rng(0xF00D + pe.rank());
+    for (int u = 0; u < 32; ++u) {
+      (void)co_await table.fetch_add(rng.next_below(elements), 1);
+    }
+    co_await table.sync();
+
+    // Conservation: total increments == ranks * 32.
+    if (pe.rank() == 0) {
+      std::uint64_t total = 0;
+      for (std::uint64_t i = 0; i < elements; ++i) {
+        total += co_await table.read(i);
+      }
+      EXPECT_EQ(total, static_cast<std::uint64_t>(pe.n_pes()) * 32);
+    }
+    co_await table.sync();
+  }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GlobalArraySweep,
+                         ::testing::Values(Shape{1, 8}, Shape{2, 5},
+                                           Shape{4, 64}, Shape{6, 17},
+                                           Shape{8, 100}, Shape{12, 23}));
+
+}  // namespace
+}  // namespace odcm::shmem

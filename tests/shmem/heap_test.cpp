@@ -1,0 +1,60 @@
+// Tests for the symmetric-heap allocator.
+#include <gtest/gtest.h>
+
+#include "shmem/heap.hpp"
+
+namespace odcm::shmem {
+namespace {
+
+TEST(SymmetricAllocator, SequentialOffsets) {
+  SymmetricAllocator a(1024);
+  EXPECT_EQ(a.allocate(8), 0u);
+  EXPECT_EQ(a.allocate(8), 8u);
+  EXPECT_EQ(a.allocate(16), 16u);
+  EXPECT_EQ(a.used(), 32u);
+}
+
+TEST(SymmetricAllocator, DeterministicAcrossInstances) {
+  // Symmetry: two PEs performing the same sequence get the same offsets.
+  SymmetricAllocator a(4096);
+  SymmetricAllocator b(4096);
+  for (std::uint64_t size : {8u, 24u, 100u, 8u, 64u}) {
+    EXPECT_EQ(a.allocate(size), b.allocate(size));
+  }
+}
+
+TEST(SymmetricAllocator, AlignmentRespected) {
+  SymmetricAllocator a(4096);
+  (void)a.allocate(3, 1);
+  EXPECT_EQ(a.allocate(8, 64), 64u);
+  EXPECT_EQ(a.allocate(8, 8) % 8, 0u);
+}
+
+TEST(SymmetricAllocator, BadAlignmentThrows) {
+  SymmetricAllocator a(128);
+  EXPECT_THROW((void)a.allocate(8, 3), std::invalid_argument);
+  EXPECT_THROW((void)a.allocate(8, 0), std::invalid_argument);
+}
+
+TEST(SymmetricAllocator, ExhaustionThrows) {
+  SymmetricAllocator a(64);
+  (void)a.allocate(60);
+  EXPECT_THROW((void)a.allocate(8), std::bad_alloc);
+  // Overflow-safe: a huge request must not wrap.
+  SymmetricAllocator b(64);
+  EXPECT_THROW((void)b.allocate(~0ULL - 2), std::bad_alloc);
+}
+
+TEST(SymmetricAllocator, LeakTracking) {
+  SymmetricAllocator a(1024);
+  SymAddr x = a.allocate(8);
+  SymAddr y = a.allocate(8);
+  EXPECT_EQ(a.outstanding(), 2u);
+  a.deallocate(x);
+  a.deallocate(y);
+  EXPECT_EQ(a.outstanding(), 0u);
+  EXPECT_THROW(a.deallocate(x), std::logic_error);
+}
+
+}  // namespace
+}  // namespace odcm::shmem

@@ -1,0 +1,113 @@
+// Tests for the distributed lock API (shmem_set_lock / clear_lock).
+#include <gtest/gtest.h>
+
+#include "shmem/job.hpp"
+#include "test_util.hpp"
+
+namespace odcm::shmem {
+namespace {
+
+using testutil::JobEnv;
+using testutil::small_job;
+using testutil::with_init;
+
+TEST(Lock, MutualExclusionUnderContention) {
+  constexpr std::uint32_t kRanks = 8;
+  constexpr int kIters = 5;
+  JobEnv env(small_job(kRanks, 4));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    SymAddr lock = pe.heap().allocate(8);
+    SymAddr counter = pe.heap().allocate(8);
+    pe.local_write<std::uint64_t>(lock, 0);
+    pe.local_write<std::uint64_t>(counter, 0);
+    co_await pe.barrier_all();
+    for (int i = 0; i < kIters; ++i) {
+      co_await pe.set_lock(lock);
+      // Non-atomic read-modify-write on PE 0: only safe under the lock.
+      std::uint64_t value = co_await pe.get_value<std::uint64_t>(0, counter);
+      co_await pe.engine().delay(3 * sim::usec);  // widen the race window
+      co_await pe.put_value<std::uint64_t>(0, counter, value + 1);
+      co_await pe.clear_lock(lock);
+    }
+    co_await pe.barrier_all();
+    if (pe.rank() == 0) {
+      EXPECT_EQ(pe.local_read<std::uint64_t>(counter), kRanks * kIters);
+    }
+  }));
+}
+
+TEST(Lock, TestLockReportsAvailability) {
+  JobEnv env(small_job(2, 1));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    SymAddr lock = pe.heap().allocate(8);
+    pe.local_write<std::uint64_t>(lock, 0);
+    co_await pe.barrier_all();
+    if (pe.rank() == 0) {
+      bool got = co_await pe.test_lock(lock);
+      EXPECT_TRUE(got);
+    }
+    co_await pe.barrier_all();
+    if (pe.rank() == 1) {
+      bool got = co_await pe.test_lock(lock);
+      EXPECT_FALSE(got);  // held by PE 0
+    }
+    co_await pe.barrier_all();
+    if (pe.rank() == 0) {
+      co_await pe.clear_lock(lock);
+    }
+    co_await pe.barrier_all();
+    if (pe.rank() == 1) {
+      bool got = co_await pe.test_lock(lock);
+      EXPECT_TRUE(got);
+      co_await pe.clear_lock(lock);
+    }
+  }));
+}
+
+TEST(Lock, ClearByNonHolderThrows) {
+  JobEnv env(small_job(2, 2));
+  env.job.spawn_all(with_init([](ShmemPe& pe) -> sim::Task<> {
+    SymAddr lock = pe.heap().allocate(8);
+    pe.local_write<std::uint64_t>(lock, 0);
+    co_await pe.barrier_all();
+    if (pe.rank() == 0) {
+      co_await pe.set_lock(lock);
+    }
+    co_await pe.barrier_all();
+    if (pe.rank() == 1) {
+      co_await pe.clear_lock(lock);  // not the holder
+    }
+    co_await pe.barrier_all();
+  }));
+  EXPECT_THROW(env.engine.run(), std::logic_error);
+}
+
+TEST(Lock, WorksUnderStaticDesign) {
+  JobEnv env(small_job(4, 2, core::current_design()));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    SymAddr lock = pe.heap().allocate(8);
+    pe.local_write<std::uint64_t>(lock, 0);
+    co_await pe.barrier_all();
+    co_await pe.set_lock(lock);
+    co_await pe.clear_lock(lock);
+    co_await pe.barrier_all();
+  }));
+}
+
+TEST(Lock, BackoffKeepsRetransmitsBounded) {
+  // Heavy contention must not livelock or blow up the event count.
+  JobEnv env(small_job(6, 3));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    SymAddr lock = pe.heap().allocate(8);
+    pe.local_write<std::uint64_t>(lock, 0);
+    co_await pe.barrier_all();
+    co_await pe.set_lock(lock);
+    co_await pe.engine().delay(50 * sim::usec);  // long critical section
+    co_await pe.clear_lock(lock);
+    co_await pe.barrier_all();
+  }));
+  EXPECT_LT(env.engine.events_executed(), 2'000'000u);
+}
+
+}  // namespace
+}  // namespace odcm::shmem

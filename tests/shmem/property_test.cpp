@@ -1,0 +1,175 @@
+// Property-based testing: random one-sided traffic against a shadow memory
+// model. Every seed drives a different random schedule of puts, gets and
+// atomics across the job; after a global barrier, every PE's heap must
+// match the shadow model exactly, and runtime invariants must hold.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "shmem/job.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+namespace odcm::shmem {
+namespace {
+
+using testutil::JobEnv;
+using testutil::small_job;
+using testutil::with_init;
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::uint32_t ranks;
+  std::uint32_t ppn;
+  bool static_design;
+};
+
+void PrintTo(const FuzzCase& c, std::ostream* os) {
+  *os << "seed" << c.seed << "_r" << c.ranks << "_ppn" << c.ppn
+      << (c.static_design ? "_static" : "_ondemand");
+}
+
+class RandomRmaFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RandomRmaFuzz, HeapMatchesShadowModel) {
+  const FuzzCase param = GetParam();
+  const std::uint32_t kSlots = 64;  // 8-byte slots per PE
+  JobEnv env(small_job(param.ranks, param.ppn,
+                       param.static_design ? core::current_design()
+                                           : core::proposed_design()));
+
+  // Shadow model: the expected final value of every slot. To keep the
+  // oracle exact under concurrency, each slot has a unique writer (the PE
+  // whose rng draws it), determined before the run.
+  //
+  // Plan: each PE executes a deterministic schedule of operations derived
+  // from its own rng; writes target only slots it owns.
+  std::vector<std::vector<std::uint64_t>> expected(
+      param.ranks, std::vector<std::uint64_t>(kSlots, 0));
+  // Slot s of PE p is owned (written) by PE (p + s) % ranks. Compute the
+  // expected value: owner writes a sequence; last write wins. Atomic adds
+  // accumulate from all PEs.
+  // Writes: owner puts (round, owner) encoded. Adds: every PE adds its
+  // rank+1 once per round to add-designated slots (s % 4 == 3).
+  const int kRounds = 6;
+  for (std::uint32_t p = 0; p < param.ranks; ++p) {
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      if (s % 4 == 3) {
+        // Atomic accumulator slot: sum over rounds and PEs of (rank+1).
+        std::uint64_t total = 0;
+        for (std::uint32_t r = 0; r < param.ranks; ++r) total += r + 1;
+        expected[p][s] = total * kRounds;
+      } else {
+        std::uint32_t owner = (p + s) % param.ranks;
+        expected[p][s] = (kRounds - 1) * 1000003ULL + owner * 17ULL + s;
+      }
+    }
+  }
+
+  env.run(with_init([param, kSlots](ShmemPe& pe) -> sim::Task<> {
+    SymAddr base = pe.heap().allocate(8 * kSlots);
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      pe.local_write<std::uint64_t>(base + 8 * s, 0);
+    }
+    co_await pe.barrier_all();
+
+    sim::Rng rng(param.seed * 1000003 + pe.rank());
+    for (int round = 0; round < 6; ++round) {
+      // Visit targets in a random order each round.
+      std::vector<std::uint32_t> order;
+      for (std::uint32_t t = 0; t < param.ranks; ++t) order.push_back(t);
+      for (std::uint32_t i = param.ranks - 1; i > 0; --i) {
+        std::swap(order[i], order[rng.next_below(i + 1)]);
+      }
+      for (std::uint32_t target : order) {
+        for (std::uint32_t s = 0; s < kSlots; ++s) {
+          if (s % 4 == 3) {
+            if (rng.chance(0.5)) {
+              co_await pe.atomic_add(target, base + 8 * s, pe.rank() + 1);
+            } else {
+              (void)co_await pe.atomic_fetch_add(target, base + 8 * s,
+                                                 pe.rank() + 1);
+            }
+            continue;
+          }
+          // Only the slot's owner writes it.
+          if ((target + s) % param.ranks != pe.rank()) continue;
+          std::uint64_t value =
+              round * 1000003ULL + pe.rank() * 17ULL + s;
+          if (rng.chance(0.3)) {
+            std::vector<std::byte> bytes(8);
+            std::memcpy(bytes.data(), &value, 8);
+            pe.put_nbi(target, base + 8 * s, bytes);
+          } else {
+            co_await pe.put_value<std::uint64_t>(target, base + 8 * s,
+                                                 value);
+          }
+        }
+      }
+      // Writes of round k must complete before round k+1 (last-wins
+      // oracle needs ordering between rounds).
+      co_await pe.barrier_all();
+    }
+    co_await pe.barrier_all();
+  }));
+
+  // Check every PE's heap against the shadow model.
+  for (std::uint32_t p = 0; p < param.ranks; ++p) {
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      EXPECT_EQ(env.job.pe(p).local_read<std::uint64_t>(8ULL * s),
+                expected[p][s])
+          << "pe " << p << " slot " << s;
+    }
+  }
+  // Runtime invariants: established connections equal distinct peers; no
+  // more endpoints than peers + the UD endpoint.
+  for (std::uint32_t p = 0; p < param.ranks; ++p) {
+    auto& pe = env.job.pe(p);
+    auto established = static_cast<std::uint64_t>(
+        pe.stats().counter("connections_established"));
+    EXPECT_EQ(established, pe.communicating_peers()) << "pe " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomRmaFuzz,
+    ::testing::Values(FuzzCase{1, 4, 2, false}, FuzzCase{2, 4, 2, false},
+                      FuzzCase{3, 6, 3, false}, FuzzCase{4, 8, 4, false},
+                      FuzzCase{5, 8, 2, false}, FuzzCase{6, 3, 1, false},
+                      FuzzCase{7, 5, 5, false}, FuzzCase{8, 4, 2, true},
+                      FuzzCase{9, 6, 3, true}, FuzzCase{10, 8, 4, true}));
+
+// Lossy-fabric variant: same oracle must hold when the control channel
+// drops and duplicates datagrams.
+class LossyRmaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyRmaFuzz, DataIntactUnderControlPlaneLoss) {
+  const std::uint64_t seed = GetParam();
+  ShmemJobConfig config = small_job(6, 2);
+  config.job.fabric.ud_drop_rate = 0.35;
+  config.job.fabric.ud_duplicate_rate = 0.15;
+  config.job.fabric.ud_jitter_max = 3 * sim::usec;
+  config.job.fabric.seed = seed;
+  JobEnv env(config);
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    SymAddr slot = pe.heap().allocate(8 * 6);
+    pe.local_write<std::uint64_t>(slot + 8 * pe.rank(), 0);
+    co_await pe.barrier_all();
+    for (RankId target = 0; target < 6; ++target) {
+      co_await pe.put_value<std::uint64_t>(
+          target, slot + 8 * pe.rank(), 0xABC000 + pe.rank());
+    }
+    co_await pe.barrier_all();
+    for (RankId src = 0; src < 6; ++src) {
+      EXPECT_EQ(pe.local_read<std::uint64_t>(slot + 8 * src),
+                0xABC000ULL + src);
+    }
+  }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyRmaFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace odcm::shmem

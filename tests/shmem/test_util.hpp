@@ -1,0 +1,50 @@
+// Helpers for OpenSHMEM-layer tests.
+#pragma once
+
+#include <functional>
+
+#include "shmem/job.hpp"
+#include "sim/engine.hpp"
+
+namespace odcm::shmem::testutil {
+
+struct JobEnv {
+  explicit JobEnv(ShmemJobConfig config) : job(engine, config) {}
+
+  void run(std::function<sim::Task<>(ShmemPe&)> program) {
+    job.spawn_all(std::move(program));
+    engine.run();
+  }
+
+  sim::Engine engine;
+  ShmemJob job;
+};
+
+/// Small job with the paper's proposed design (on-demand + Iallgather +
+/// intra-node barriers) unless overridden.
+inline ShmemJobConfig small_job(
+    std::uint32_t ranks, std::uint32_t ppn,
+    core::ConduitConfig conduit = core::proposed_design()) {
+  ShmemJobConfig config;
+  config.job.ranks = ranks;
+  config.job.ranks_per_node = ppn;
+  config.job.conduit = conduit;
+  config.shmem.heap_bytes = 1 << 16;
+  // Keep init cheap in unit tests; benches use realistic values.
+  config.shmem.shared_memory_base = 100 * sim::usec;
+  config.shmem.shared_memory_per_pe = 10 * sim::usec;
+  config.shmem.init_misc = 50 * sim::usec;
+  return config;
+}
+
+/// A program that initializes, runs `body`, and finalizes.
+inline std::function<sim::Task<>(ShmemPe&)> with_init(
+    std::function<sim::Task<>(ShmemPe&)> body) {
+  return [body = std::move(body)](ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await body(pe);
+    co_await pe.finalize();
+  };
+}
+
+}  // namespace odcm::shmem::testutil

@@ -1,0 +1,202 @@
+// Unit tests for the discrete-event engine and Task coroutines.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0u);
+  EXPECT_EQ(engine.events_executed(), 0u);
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(Engine, SameTimeEventsFireInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule_at(100, [] {});
+  engine.run();
+  EXPECT_EQ(engine.now(), 100u);
+  EXPECT_THROW(engine.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1, [&] {
+    ++fired;
+    engine.schedule_after(10, [&] { ++fired; });
+  });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 11u);
+}
+
+TEST(Engine, DelayAdvancesVirtualTime) {
+  Engine engine;
+  Time observed = 0;
+  engine.spawn([](Engine& eng, Time& out) -> Task<> {
+    co_await eng.delay(5 * usec);
+    out = eng.now();
+  }(engine, observed));
+  engine.run();
+  EXPECT_EQ(observed, 5 * usec);
+}
+
+TEST(Engine, NestedTasksReturnValues) {
+  Engine engine;
+  int result = 0;
+
+  auto leaf = [](Engine& eng) -> Task<int> {
+    co_await eng.delay(10);
+    co_return 21;
+  };
+  auto root = [&leaf](Engine& eng, int& out) -> Task<> {
+    int a = co_await leaf(eng);
+    int b = co_await leaf(eng);
+    out = a + b;
+  };
+
+  engine.spawn(root(engine, result));
+  engine.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(engine.now(), 20u);
+}
+
+TEST(Engine, DeeplyNestedTasksDoNotOverflowStack) {
+  Engine engine;
+  // 10k-deep chain of co_awaits; relies on symmetric transfer.
+  struct Recur {
+    static Task<int> depth(Engine& eng, int n) {
+      if (n == 0) {
+        co_await eng.delay(1);
+        co_return 0;
+      }
+      int below = co_await depth(eng, n - 1);
+      co_return below + 1;
+    }
+  };
+  int result = -1;
+  engine.spawn([](Engine& eng, int& out) -> Task<> {
+    out = co_await Recur::depth(eng, 10000);
+  }(engine, result));
+  engine.run();
+  EXPECT_EQ(result, 10000);
+}
+
+TEST(Engine, ExceptionsPropagateAcrossCoAwait) {
+  Engine engine;
+  auto thrower = [](Engine& eng) -> Task<int> {
+    co_await eng.delay(1);
+    throw std::runtime_error("boom");
+  };
+  bool caught = false;
+  engine.spawn([](Engine& eng, decltype(thrower)& fn, bool& flag) -> Task<> {
+    try {
+      (void)co_await fn(eng);
+    } catch (const std::runtime_error& error) {
+      flag = std::string(error.what()) == "boom";
+    }
+  }(engine, thrower, caught));
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, RootTaskExceptionSurfacesFromRun) {
+  Engine engine;
+  engine.spawn([](Engine& eng) -> Task<> {
+    co_await eng.delay(3);
+    throw std::runtime_error("root failure");
+  }(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(Engine, RunDetectsDeadlockedRootTasks) {
+  Engine engine;
+  // A task that waits on an event that never fires: the queue drains while
+  // the root is still live.
+  struct Never {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  // The coroutine frame leaks by design here (never resumed, never
+  // destroyed); acceptable inside a single test process.
+  engine.spawn([]() -> Task<> { co_await Never{}; }());
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  EXPECT_EQ(engine.live_root_tasks(), 1u);
+}
+
+TEST(Engine, ManyRootTasksAllComplete) {
+  Engine engine;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    engine.spawn([](Engine& eng, int& counter, int delay) -> Task<> {
+      co_await eng.delay(static_cast<Time>(delay));
+      ++counter;
+    }(engine, done, i % 17));
+  }
+  engine.run();
+  EXPECT_EQ(done, 1000);
+  EXPECT_EQ(engine.live_root_tasks(), 0u);
+}
+
+TEST(Engine, DrainDoesNotThrowOnBlockedRoots) {
+  Engine engine;
+  struct Never {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  engine.spawn([]() -> Task<> { co_await Never{}; }());
+  EXPECT_NO_THROW(engine.drain());
+  EXPECT_EQ(engine.live_root_tasks(), 1u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<Time> stamps;
+    for (int i = 0; i < 50; ++i) {
+      engine.spawn([](Engine& eng, std::vector<Time>& out, int i) -> Task<> {
+        co_await eng.delay(static_cast<Time>((i * 37) % 11));
+        out.push_back(eng.now());
+        co_await eng.delay(static_cast<Time>((i * 13) % 7));
+        out.push_back(eng.now());
+      }(engine, stamps, i));
+    }
+    engine.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace odcm::sim

@@ -1,0 +1,90 @@
+// Unit tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/random.hpp"
+
+namespace odcm::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(777);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsRoughlyHalf) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(31337);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(42);
+  (void)parent2.next_u64();  // advance past the fork draw
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.next_u64() == parent2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, GoodBitDispersion) {
+  // All 64 output bits should flip at least occasionally.
+  Rng rng(2024);
+  std::uint64_t ones = 0;
+  std::uint64_t zeros = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.next_u64();
+    ones |= v;
+    zeros |= ~v;
+  }
+  EXPECT_EQ(ones, ~0ULL);
+  EXPECT_EQ(zeros, ~0ULL);
+}
+
+}  // namespace
+}  // namespace odcm::sim

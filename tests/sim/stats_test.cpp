@@ -1,0 +1,102 @@
+// Unit tests for StatSet and PhaseTimer.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace odcm::sim {
+namespace {
+
+TEST(StatSet, CountersDefaultToZero) {
+  StatSet stats;
+  EXPECT_EQ(stats.counter("missing"), 0);
+  EXPECT_EQ(stats.phase_time("missing"), 0u);
+}
+
+TEST(StatSet, AddAccumulates) {
+  StatSet stats;
+  stats.add("qp_created");
+  stats.add("qp_created", 4);
+  EXPECT_EQ(stats.counter("qp_created"), 5);
+}
+
+TEST(StatSet, NegativeDeltasAllowed) {
+  StatSet stats;
+  stats.add("balance", 10);
+  stats.add("balance", -3);
+  EXPECT_EQ(stats.counter("balance"), 7);
+}
+
+TEST(StatSet, MergeCombinesBoth) {
+  StatSet a;
+  StatSet b;
+  a.add("x", 1);
+  a.add_time("p", 100);
+  b.add("x", 2);
+  b.add("y", 3);
+  b.add_time("p", 50);
+  a.merge(b);
+  EXPECT_EQ(a.counter("x"), 3);
+  EXPECT_EQ(a.counter("y"), 3);
+  EXPECT_EQ(a.phase_time("p"), 150u);
+}
+
+TEST(StatSet, ClearResets) {
+  StatSet stats;
+  stats.add("x");
+  stats.add_time("p", 1);
+  stats.clear();
+  EXPECT_TRUE(stats.counters().empty());
+  EXPECT_TRUE(stats.phases().empty());
+}
+
+TEST(PhaseTimer, MeasuresVirtualTimeAcrossSuspension) {
+  Engine engine;
+  StatSet stats;
+  engine.spawn([](Engine& eng, StatSet& st) -> Task<> {
+    PhaseTimer timer(eng, st, "connect");
+    co_await eng.delay(250);
+  }(engine, stats));
+  engine.run();
+  EXPECT_EQ(stats.phase_time("connect"), 250u);
+}
+
+TEST(PhaseTimer, StopIsIdempotent) {
+  Engine engine;
+  StatSet stats;
+  engine.spawn([](Engine& eng, StatSet& st) -> Task<> {
+    PhaseTimer timer(eng, st, "phase");
+    co_await eng.delay(10);
+    timer.stop();
+    co_await eng.delay(90);
+    timer.stop();  // no additional time recorded
+  }(engine, stats));
+  engine.run();
+  EXPECT_EQ(stats.phase_time("phase"), 10u);
+}
+
+TEST(PhaseTimer, SequentialPhasesAccumulateSeparately) {
+  Engine engine;
+  StatSet stats;
+  engine.spawn([](Engine& eng, StatSet& st) -> Task<> {
+    {
+      PhaseTimer timer(eng, st, "a");
+      co_await eng.delay(10);
+    }
+    {
+      PhaseTimer timer(eng, st, "b");
+      co_await eng.delay(20);
+    }
+    {
+      PhaseTimer timer(eng, st, "a");
+      co_await eng.delay(5);
+    }
+  }(engine, stats));
+  engine.run();
+  EXPECT_EQ(stats.phase_time("a"), 15u);
+  EXPECT_EQ(stats.phase_time("b"), 20u);
+}
+
+}  // namespace
+}  // namespace odcm::sim
