@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bootstrap.dir/ablation_bootstrap.cpp.o"
+  "CMakeFiles/ablation_bootstrap.dir/ablation_bootstrap.cpp.o.d"
+  "ablation_bootstrap"
+  "ablation_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bulk_model.dir/ablation_bulk_model.cpp.o"
+  "CMakeFiles/ablation_bulk_model.dir/ablation_bulk_model.cpp.o.d"
+  "ablation_bulk_model"
+  "ablation_bulk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bulk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

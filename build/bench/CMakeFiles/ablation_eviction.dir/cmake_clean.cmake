@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o"
+  "CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o.d"
+  "ablation_eviction"
+  "ablation_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hca_cache.dir/ablation_hca_cache.cpp.o"
+  "CMakeFiles/ablation_hca_cache.dir/ablation_hca_cache.cpp.o.d"
+  "ablation_hca_cache"
+  "ablation_hca_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hca_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ingredients.dir/ablation_ingredients.cpp.o"
+  "CMakeFiles/ablation_ingredients.dir/ablation_ingredients.cpp.o.d"
+  "ablation_ingredients"
+  "ablation_ingredients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ingredients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

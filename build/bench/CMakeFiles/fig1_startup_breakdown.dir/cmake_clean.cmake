@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_startup_breakdown.dir/fig1_startup_breakdown.cpp.o"
+  "CMakeFiles/fig1_startup_breakdown.dir/fig1_startup_breakdown.cpp.o.d"
+  "fig1_startup_breakdown"
+  "fig1_startup_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_startup_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pt2pt.dir/fig6_pt2pt.cpp.o"
+  "CMakeFiles/fig6_pt2pt.dir/fig6_pt2pt.cpp.o.d"
+  "fig6_pt2pt"
+  "fig6_pt2pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pt2pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_collectives.dir/fig7_collectives.cpp.o"
+  "CMakeFiles/fig7_collectives.dir/fig7_collectives.cpp.o.d"
+  "fig7_collectives"
+  "fig7_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

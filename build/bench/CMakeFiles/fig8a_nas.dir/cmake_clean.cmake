@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_nas.dir/fig8a_nas.cpp.o"
+  "CMakeFiles/fig8a_nas.dir/fig8a_nas.cpp.o.d"
+  "fig8a_nas"
+  "fig8a_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_graph500.dir/fig8b_graph500.cpp.o"
+  "CMakeFiles/fig8b_graph500.dir/fig8b_graph500.cpp.o.d"
+  "fig8b_graph500"
+  "fig8b_graph500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_graph500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

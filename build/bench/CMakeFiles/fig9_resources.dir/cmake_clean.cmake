@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_resources.dir/fig9_resources.cpp.o"
+  "CMakeFiles/fig9_resources.dir/fig9_resources.cpp.o.d"
+  "fig9_resources"
+  "fig9_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

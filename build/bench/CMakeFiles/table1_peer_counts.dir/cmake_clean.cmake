@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_peer_counts.dir/table1_peer_counts.cpp.o"
+  "CMakeFiles/table1_peer_counts.dir/table1_peer_counts.cpp.o.d"
+  "table1_peer_counts"
+  "table1_peer_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_peer_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_hybrid.dir/graph500_hybrid.cpp.o"
+  "CMakeFiles/graph500_hybrid.dir/graph500_hybrid.cpp.o.d"
+  "graph500_hybrid"
+  "graph500_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

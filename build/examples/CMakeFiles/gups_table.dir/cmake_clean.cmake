@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups_table.dir/gups_table.cpp.o"
+  "CMakeFiles/gups_table.dir/gups_table.cpp.o.d"
+  "gups_table"
+  "gups_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

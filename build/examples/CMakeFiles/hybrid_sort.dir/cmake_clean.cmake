@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_sort.dir/hybrid_sort.cpp.o"
+  "CMakeFiles/hybrid_sort.dir/hybrid_sort.cpp.o.d"
+  "hybrid_sort"
+  "hybrid_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

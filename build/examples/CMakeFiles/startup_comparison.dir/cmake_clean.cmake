@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startup_comparison.dir/startup_comparison.cpp.o"
+  "CMakeFiles/startup_comparison.dir/startup_comparison.cpp.o.d"
+  "startup_comparison"
+  "startup_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startup_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

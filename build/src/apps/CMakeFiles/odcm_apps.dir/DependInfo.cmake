@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/odcm_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/odcm_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/graph500.cpp" "src/apps/CMakeFiles/odcm_apps.dir/graph500.cpp.o" "gcc" "src/apps/CMakeFiles/odcm_apps.dir/graph500.cpp.o.d"
+  "/root/repo/src/apps/grid_kernel.cpp" "src/apps/CMakeFiles/odcm_apps.dir/grid_kernel.cpp.o" "gcc" "src/apps/CMakeFiles/odcm_apps.dir/grid_kernel.cpp.o.d"
+  "/root/repo/src/apps/heat2d.cpp" "src/apps/CMakeFiles/odcm_apps.dir/heat2d.cpp.o" "gcc" "src/apps/CMakeFiles/odcm_apps.dir/heat2d.cpp.o.d"
+  "/root/repo/src/apps/hello.cpp" "src/apps/CMakeFiles/odcm_apps.dir/hello.cpp.o" "gcc" "src/apps/CMakeFiles/odcm_apps.dir/hello.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/apps/CMakeFiles/odcm_apps.dir/mg.cpp.o" "gcc" "src/apps/CMakeFiles/odcm_apps.dir/mg.cpp.o.d"
+  "/root/repo/src/apps/sort.cpp" "src/apps/CMakeFiles/odcm_apps.dir/sort.cpp.o" "gcc" "src/apps/CMakeFiles/odcm_apps.dir/sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shmem/CMakeFiles/odcm_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/odcm_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/odcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/odcm_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmi/CMakeFiles/odcm_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_apps.dir/ep.cpp.o"
+  "CMakeFiles/odcm_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/odcm_apps.dir/graph500.cpp.o"
+  "CMakeFiles/odcm_apps.dir/graph500.cpp.o.d"
+  "CMakeFiles/odcm_apps.dir/grid_kernel.cpp.o"
+  "CMakeFiles/odcm_apps.dir/grid_kernel.cpp.o.d"
+  "CMakeFiles/odcm_apps.dir/heat2d.cpp.o"
+  "CMakeFiles/odcm_apps.dir/heat2d.cpp.o.d"
+  "CMakeFiles/odcm_apps.dir/hello.cpp.o"
+  "CMakeFiles/odcm_apps.dir/hello.cpp.o.d"
+  "CMakeFiles/odcm_apps.dir/mg.cpp.o"
+  "CMakeFiles/odcm_apps.dir/mg.cpp.o.d"
+  "CMakeFiles/odcm_apps.dir/sort.cpp.o"
+  "CMakeFiles/odcm_apps.dir/sort.cpp.o.d"
+  "libodcm_apps.a"
+  "libodcm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_core.dir/barrier.cpp.o"
+  "CMakeFiles/odcm_core.dir/barrier.cpp.o.d"
+  "CMakeFiles/odcm_core.dir/conduit.cpp.o"
+  "CMakeFiles/odcm_core.dir/conduit.cpp.o.d"
+  "CMakeFiles/odcm_core.dir/connect.cpp.o"
+  "CMakeFiles/odcm_core.dir/connect.cpp.o.d"
+  "CMakeFiles/odcm_core.dir/job.cpp.o"
+  "CMakeFiles/odcm_core.dir/job.cpp.o.d"
+  "libodcm_core.a"
+  "libodcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/odcm_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/odcm_fabric.dir/hca.cpp.o"
+  "CMakeFiles/odcm_fabric.dir/hca.cpp.o.d"
+  "CMakeFiles/odcm_fabric.dir/qp.cpp.o"
+  "CMakeFiles/odcm_fabric.dir/qp.cpp.o.d"
+  "libodcm_fabric.a"
+  "libodcm_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

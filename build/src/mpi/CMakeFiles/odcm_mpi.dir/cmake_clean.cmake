@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/odcm_mpi.dir/mpi.cpp.o.d"
+  "libodcm_mpi.a"
+  "libodcm_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

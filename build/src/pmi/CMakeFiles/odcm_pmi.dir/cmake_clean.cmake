@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_pmi.dir/pmi.cpp.o"
+  "CMakeFiles/odcm_pmi.dir/pmi.cpp.o.d"
+  "libodcm_pmi.a"
+  "libodcm_pmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_pmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for odcm_pmi.
+# This may be replaced when dependencies are built.

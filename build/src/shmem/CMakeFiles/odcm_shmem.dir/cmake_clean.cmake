@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_shmem.dir/collectives.cpp.o"
+  "CMakeFiles/odcm_shmem.dir/collectives.cpp.o.d"
+  "CMakeFiles/odcm_shmem.dir/job.cpp.o"
+  "CMakeFiles/odcm_shmem.dir/job.cpp.o.d"
+  "CMakeFiles/odcm_shmem.dir/pe.cpp.o"
+  "CMakeFiles/odcm_shmem.dir/pe.cpp.o.d"
+  "libodcm_shmem.a"
+  "libodcm_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

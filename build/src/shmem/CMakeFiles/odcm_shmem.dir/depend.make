@@ -1,0 +1,2 @@
+# Empty dependencies file for odcm_shmem.
+# This may be replaced when dependencies are built.

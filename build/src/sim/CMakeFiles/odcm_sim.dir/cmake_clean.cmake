@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_sim.dir/engine.cpp.o"
+  "CMakeFiles/odcm_sim.dir/engine.cpp.o.d"
+  "libodcm_sim.a"
+  "libodcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

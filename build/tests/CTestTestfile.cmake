@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("fabric")
+subdirs("pmi")
+subdirs("core")
+subdirs("shmem")
+subdirs("mpi")
+subdirs("apps")

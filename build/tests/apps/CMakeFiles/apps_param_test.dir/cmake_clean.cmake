@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_param_test.dir/param_apps_test.cpp.o"
+  "CMakeFiles/apps_param_test.dir/param_apps_test.cpp.o.d"
+  "apps_param_test"
+  "apps_param_test.pdb"
+  "apps_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_sort_test.dir/sort_test.cpp.o"
+  "CMakeFiles/apps_sort_test.dir/sort_test.cpp.o.d"
+  "apps_sort_test"
+  "apps_sort_test.pdb"
+  "apps_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

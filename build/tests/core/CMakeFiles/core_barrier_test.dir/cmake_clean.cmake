@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_barrier_test.dir/barrier_test.cpp.o"
+  "CMakeFiles/core_barrier_test.dir/barrier_test.cpp.o.d"
+  "core_barrier_test"
+  "core_barrier_test.pdb"
+  "core_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

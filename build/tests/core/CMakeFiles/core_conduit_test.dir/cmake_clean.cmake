@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_conduit_test.dir/conduit_test.cpp.o"
+  "CMakeFiles/core_conduit_test.dir/conduit_test.cpp.o.d"
+  "core_conduit_test"
+  "core_conduit_test.pdb"
+  "core_conduit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_conduit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

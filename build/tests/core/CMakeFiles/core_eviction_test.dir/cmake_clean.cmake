@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_eviction_test.dir/eviction_test.cpp.o"
+  "CMakeFiles/core_eviction_test.dir/eviction_test.cpp.o.d"
+  "core_eviction_test"
+  "core_eviction_test.pdb"
+  "core_eviction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_eviction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ring_bootstrap_test.dir/ring_bootstrap_test.cpp.o"
+  "CMakeFiles/core_ring_bootstrap_test.dir/ring_bootstrap_test.cpp.o.d"
+  "core_ring_bootstrap_test"
+  "core_ring_bootstrap_test.pdb"
+  "core_ring_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ring_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trace_test.dir/trace_test.cpp.o"
+  "CMakeFiles/core_trace_test.dir/trace_test.cpp.o.d"
+  "core_trace_test"
+  "core_trace_test.pdb"
+  "core_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

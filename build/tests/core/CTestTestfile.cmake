@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_conduit_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_barrier_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_param_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_eviction_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_ring_bootstrap_test[1]_include.cmake")

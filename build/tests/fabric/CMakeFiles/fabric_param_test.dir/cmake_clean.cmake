@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_param_test.dir/param_test.cpp.o"
+  "CMakeFiles/fabric_param_test.dir/param_test.cpp.o.d"
+  "fabric_param_test"
+  "fabric_param_test.pdb"
+  "fabric_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_qp_test.dir/qp_test.cpp.o"
+  "CMakeFiles/fabric_qp_test.dir/qp_test.cpp.o.d"
+  "fabric_qp_test"
+  "fabric_qp_test.pdb"
+  "fabric_qp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_qp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_rdma_test.dir/rdma_test.cpp.o"
+  "CMakeFiles/fabric_rdma_test.dir/rdma_test.cpp.o.d"
+  "fabric_rdma_test"
+  "fabric_rdma_test.pdb"
+  "fabric_rdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_rdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

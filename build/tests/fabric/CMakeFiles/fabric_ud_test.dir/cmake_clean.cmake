@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_ud_test.dir/ud_test.cpp.o"
+  "CMakeFiles/fabric_ud_test.dir/ud_test.cpp.o.d"
+  "fabric_ud_test"
+  "fabric_ud_test.pdb"
+  "fabric_ud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_ud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fabric
+# Build directory: /root/repo/build/tests/fabric
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fabric/fabric_qp_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric/fabric_rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric/fabric_ud_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric/fabric_param_test[1]_include.cmake")

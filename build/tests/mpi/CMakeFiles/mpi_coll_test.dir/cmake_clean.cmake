@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_coll_test.dir/mpi_coll_test.cpp.o"
+  "CMakeFiles/mpi_coll_test.dir/mpi_coll_test.cpp.o.d"
+  "mpi_coll_test"
+  "mpi_coll_test.pdb"
+  "mpi_coll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_nbi_test.dir/mpi_nbi_test.cpp.o"
+  "CMakeFiles/mpi_nbi_test.dir/mpi_nbi_test.cpp.o.d"
+  "mpi_nbi_test"
+  "mpi_nbi_test.pdb"
+  "mpi_nbi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_nbi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpi
+# Build directory: /root/repo/build/tests/mpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mpi/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi/mpi_coll_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi/mpi_nbi_test[1]_include.cmake")

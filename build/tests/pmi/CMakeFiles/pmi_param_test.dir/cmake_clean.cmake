@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmi_param_test.dir/param_pmi_test.cpp.o"
+  "CMakeFiles/pmi_param_test.dir/param_pmi_test.cpp.o.d"
+  "pmi_param_test"
+  "pmi_param_test.pdb"
+  "pmi_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmi_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

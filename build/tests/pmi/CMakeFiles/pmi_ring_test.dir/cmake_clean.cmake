@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmi_ring_test.dir/ring_test.cpp.o"
+  "CMakeFiles/pmi_ring_test.dir/ring_test.cpp.o.d"
+  "pmi_ring_test"
+  "pmi_ring_test.pdb"
+  "pmi_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmi_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

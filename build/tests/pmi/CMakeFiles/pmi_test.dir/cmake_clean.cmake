@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmi_test.dir/pmi_test.cpp.o"
+  "CMakeFiles/pmi_test.dir/pmi_test.cpp.o.d"
+  "pmi_test"
+  "pmi_test.pdb"
+  "pmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

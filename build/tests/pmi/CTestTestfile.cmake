@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pmi
+# Build directory: /root/repo/build/tests/pmi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pmi/pmi_test[1]_include.cmake")
+include("/root/repo/build/tests/pmi/pmi_param_test[1]_include.cmake")
+include("/root/repo/build/tests/pmi/pmi_ring_test[1]_include.cmake")

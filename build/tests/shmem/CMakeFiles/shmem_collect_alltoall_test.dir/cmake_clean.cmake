@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_collect_alltoall_test.dir/collect_alltoall_test.cpp.o"
+  "CMakeFiles/shmem_collect_alltoall_test.dir/collect_alltoall_test.cpp.o.d"
+  "shmem_collect_alltoall_test"
+  "shmem_collect_alltoall_test.pdb"
+  "shmem_collect_alltoall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_collect_alltoall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_collectives_test.dir/collectives_test.cpp.o"
+  "CMakeFiles/shmem_collectives_test.dir/collectives_test.cpp.o.d"
+  "shmem_collectives_test"
+  "shmem_collectives_test.pdb"
+  "shmem_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

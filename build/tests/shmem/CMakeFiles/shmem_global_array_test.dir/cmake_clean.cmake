@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_global_array_test.dir/global_array_test.cpp.o"
+  "CMakeFiles/shmem_global_array_test.dir/global_array_test.cpp.o.d"
+  "shmem_global_array_test"
+  "shmem_global_array_test.pdb"
+  "shmem_global_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_global_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

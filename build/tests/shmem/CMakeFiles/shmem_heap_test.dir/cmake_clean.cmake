@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_heap_test.dir/heap_test.cpp.o"
+  "CMakeFiles/shmem_heap_test.dir/heap_test.cpp.o.d"
+  "shmem_heap_test"
+  "shmem_heap_test.pdb"
+  "shmem_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_lock_test.dir/lock_test.cpp.o"
+  "CMakeFiles/shmem_lock_test.dir/lock_test.cpp.o.d"
+  "shmem_lock_test"
+  "shmem_lock_test.pdb"
+  "shmem_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_pe_test.dir/pe_test.cpp.o"
+  "CMakeFiles/shmem_pe_test.dir/pe_test.cpp.o.d"
+  "shmem_pe_test"
+  "shmem_pe_test.pdb"
+  "shmem_pe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_pe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_property_test.dir/property_test.cpp.o"
+  "CMakeFiles/shmem_property_test.dir/property_test.cpp.o.d"
+  "shmem_property_test"
+  "shmem_property_test.pdb"
+  "shmem_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

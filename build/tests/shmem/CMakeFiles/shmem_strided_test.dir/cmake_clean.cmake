@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_strided_test.dir/strided_test.cpp.o"
+  "CMakeFiles/shmem_strided_test.dir/strided_test.cpp.o.d"
+  "shmem_strided_test"
+  "shmem_strided_test.pdb"
+  "shmem_strided_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_strided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/shmem
+# Build directory: /root/repo/build/tests/shmem
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/shmem/shmem_pe_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_lock_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_collect_alltoall_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_property_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_global_array_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_strided_test[1]_include.cmake")

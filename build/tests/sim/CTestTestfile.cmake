@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sim_task_edge_test[1]_include.cmake")
