@@ -1,0 +1,180 @@
+// check_sweep: command-line driver for the fault-injection torture harness.
+//
+// Sweep mode (default): run `--seeds N` seeds of every fault recipe in the
+// selected mode(s) and report the tally. Replay mode: pass the exact
+// `--seed/--recipe/--mode` printed by a failing sweep (or by the torture
+// tests) to re-run a single case — the simulation is deterministic, so the
+// failure reproduces bit-identically.
+//
+//   check_sweep --seeds 100                       # sweep all modes
+//   check_sweep --seed 1042 --recipe 2 --mode 0   # replay one case
+//
+// Exits non-zero if any case fails.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "check/torture.hpp"
+
+namespace {
+
+using odcm::check::FaultPlan;
+using odcm::check::TortureCase;
+using odcm::check::TortureMode;
+using odcm::check::TortureResult;
+
+struct CliOptions {
+  std::uint64_t seeds = 25;  // per recipe per mode, sweep mode
+  std::optional<std::uint64_t> seed{};
+  std::optional<std::uint32_t> recipe{};
+  std::optional<int> mode{};
+  std::uint32_t ranks = 6;
+  std::uint32_t ppn = 3;
+  std::uint32_t rounds = 4;
+  bool inject_dup_bug = false;
+  bool verbose = false;
+};
+
+void usage() {
+  std::cout
+      << "usage: check_sweep [options]\n"
+         "  --seeds N          seeds per (recipe, mode) in sweep mode "
+         "(default 25)\n"
+         "  --seed S           replay a single seed\n"
+         "  --recipe K         fault recipe 0.." +
+             std::to_string(FaultPlan::kRecipeCount - 1) +
+             " (with --seed; default all)\n"
+         "  --mode M           0=on-demand 1=static 2=eviction-capped "
+         "(default all)\n"
+         "  --ranks R --ppn P  job shape (default 6 PEs, 3 per node)\n"
+         "  --rounds N         traffic rounds per PE (default 4)\n"
+         "  --inject-dup-bug   enable the deliberate protocol bug\n"
+         "  --verbose          print every case\n";
+}
+
+bool run_one(const TortureCase& c, const CliOptions& options,
+             std::uint64_t& failures) {
+  TortureResult result = odcm::check::run_case(c);
+  if (options.verbose || !result.ok) {
+    std::cout << (result.ok ? "ok   " : "FAIL ") << to_string(c.mode)
+              << " recipe=" << FaultPlan::recipe_name(c.recipe)
+              << " seed=" << c.seed << " events=" << result.events_seen
+              << " datagrams=" << result.ud_datagrams << "\n";
+  }
+  if (!result.ok) {
+    std::cout << "  " << result.failure << "\n";
+    ++failures;
+  }
+  return result.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "check_sweep: missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      options.seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--recipe") {
+      options.recipe = static_cast<std::uint32_t>(std::strtoul(next(),
+                                                               nullptr, 10));
+    } else if (arg == "--mode") {
+      options.mode = std::atoi(next());
+    } else if (arg == "--ranks") {
+      options.ranks = static_cast<std::uint32_t>(std::strtoul(next(),
+                                                              nullptr, 10));
+    } else if (arg == "--ppn") {
+      options.ppn = static_cast<std::uint32_t>(std::strtoul(next(),
+                                                            nullptr, 10));
+    } else if (arg == "--rounds") {
+      options.rounds = static_cast<std::uint32_t>(std::strtoul(next(),
+                                                               nullptr, 10));
+    } else if (arg == "--inject-dup-bug") {
+      options.inject_dup_bug = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "check_sweep: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  if (options.ranks == 0 || options.ppn == 0) {
+    std::cerr << "check_sweep: --ranks and --ppn must be > 0\n";
+    return 2;
+  }
+  if (options.recipe && *options.recipe >= FaultPlan::kRecipeCount) {
+    std::cerr << "check_sweep: --recipe out of range (0.."
+              << FaultPlan::kRecipeCount - 1 << ")\n";
+    return 2;
+  }
+  if (options.mode && (*options.mode < 0 || *options.mode > 2)) {
+    std::cerr << "check_sweep: --mode must be 0, 1 or 2\n";
+    return 2;
+  }
+
+  auto make_case = [&options](std::uint64_t seed, std::uint32_t recipe,
+                              TortureMode mode) {
+    TortureCase c;
+    c.seed = seed;
+    c.recipe = recipe;
+    c.mode = mode;
+    c.ranks = options.ranks;
+    c.ppn = options.ppn;
+    c.rounds = options.rounds;
+    c.inject_duplicate_suppression_bug = options.inject_dup_bug;
+    return c;
+  };
+
+  const TortureMode all_modes[] = {TortureMode::kOnDemand,
+                                   TortureMode::kStatic,
+                                   TortureMode::kEvictionCapped};
+  std::uint64_t failures = 0;
+  std::uint64_t cases = 0;
+
+  if (options.seed) {
+    // Replay mode: one seed, selected (or all) recipes and modes.
+    for (TortureMode mode : all_modes) {
+      if (options.mode && static_cast<int>(mode) != *options.mode) continue;
+      for (std::uint32_t recipe = 0; recipe < FaultPlan::kRecipeCount;
+           ++recipe) {
+        if (options.recipe && recipe != *options.recipe) continue;
+        run_one(make_case(*options.seed, recipe, mode), options, failures);
+        ++cases;
+      }
+    }
+  } else {
+    for (TortureMode mode : all_modes) {
+      if (options.mode && static_cast<int>(mode) != *options.mode) continue;
+      for (std::uint32_t recipe = 0; recipe < FaultPlan::kRecipeCount;
+           ++recipe) {
+        if (options.recipe && recipe != *options.recipe) continue;
+        for (std::uint64_t i = 0; i < options.seeds; ++i) {
+          run_one(make_case(1000 + i, recipe, mode), options, failures);
+          ++cases;
+        }
+      }
+    }
+  }
+
+  std::cout << "check_sweep: " << cases << " cases, " << failures
+            << " failures\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_sweep.dir/check_sweep.cpp.o"
+  "CMakeFiles/check_sweep.dir/check_sweep.cpp.o.d"
+  "check_sweep"
+  "check_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

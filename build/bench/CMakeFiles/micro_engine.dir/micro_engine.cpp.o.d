@@ -225,8 +225,9 @@ bench/CMakeFiles/micro_engine.dir/micro_engine.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
  /usr/include/c++/12/coroutine /root/repo/src/sim/sync.hpp \
+ /root/repo/src/core/observer.hpp /root/repo/src/fabric/types.hpp \
  /root/repo/src/core/wire.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/fabric/types.hpp /root/repo/src/fabric/fabric.hpp \
- /root/repo/src/fabric/address_space.hpp /root/repo/src/sim/random.hpp \
- /root/repo/src/sim/stats.hpp /root/repo/src/sim/trace.hpp
+ /root/repo/src/fabric/fabric.hpp /root/repo/src/fabric/address_space.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/stats.hpp \
+ /root/repo/src/sim/trace.hpp

@@ -222,11 +222,12 @@ examples/CMakeFiles/gups_table.dir/gups_table.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/task.hpp /usr/include/c++/12/coroutine \
- /root/repo/src/sim/sync.hpp /root/repo/src/core/wire.hpp \
- /root/repo/src/fabric/types.hpp /root/repo/src/fabric/fabric.hpp \
- /root/repo/src/fabric/address_space.hpp /root/repo/src/sim/random.hpp \
- /usr/include/c++/12/limits /root/repo/src/sim/stats.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/sync.hpp /root/repo/src/core/observer.hpp \
+ /root/repo/src/fabric/types.hpp /root/repo/src/core/wire.hpp \
+ /root/repo/src/fabric/fabric.hpp /root/repo/src/fabric/address_space.hpp \
+ /root/repo/src/sim/random.hpp /usr/include/c++/12/limits \
+ /root/repo/src/sim/stats.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/trace.hpp /root/repo/src/shmem/config.hpp \

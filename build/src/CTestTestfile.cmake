@@ -8,6 +8,7 @@ subdirs("sim")
 subdirs("fabric")
 subdirs("pmi")
 subdirs("core")
+subdirs("check")
 subdirs("shmem")
 subdirs("mpi")
 subdirs("apps")

@@ -228,10 +228,11 @@ src/apps/CMakeFiles/odcm_apps.dir/graph500.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/task.hpp /usr/include/c++/12/coroutine \
- /root/repo/src/sim/sync.hpp /root/repo/src/core/wire.hpp \
- /root/repo/src/fabric/types.hpp /root/repo/src/fabric/fabric.hpp \
- /root/repo/src/fabric/address_space.hpp /root/repo/src/sim/random.hpp \
- /usr/include/c++/12/limits /root/repo/src/sim/stats.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/shmem/config.hpp \
- /root/repo/src/shmem/pe.hpp /root/repo/src/shmem/heap.hpp \
- /root/repo/src/shmem/types.hpp /root/repo/src/mpi/mpi.hpp
+ /root/repo/src/sim/sync.hpp /root/repo/src/core/observer.hpp \
+ /root/repo/src/fabric/types.hpp /root/repo/src/core/wire.hpp \
+ /root/repo/src/fabric/fabric.hpp /root/repo/src/fabric/address_space.hpp \
+ /root/repo/src/sim/random.hpp /usr/include/c++/12/limits \
+ /root/repo/src/sim/stats.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/shmem/config.hpp /root/repo/src/shmem/pe.hpp \
+ /root/repo/src/shmem/heap.hpp /root/repo/src/shmem/types.hpp \
+ /root/repo/src/mpi/mpi.hpp

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odcm_check.dir/fault_plan.cpp.o"
+  "CMakeFiles/odcm_check.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/odcm_check.dir/invariants.cpp.o"
+  "CMakeFiles/odcm_check.dir/invariants.cpp.o.d"
+  "CMakeFiles/odcm_check.dir/torture.cpp.o"
+  "CMakeFiles/odcm_check.dir/torture.cpp.o.d"
+  "libodcm_check.a"
+  "libodcm_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odcm_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

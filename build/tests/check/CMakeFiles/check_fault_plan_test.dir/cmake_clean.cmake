@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_fault_plan_test.dir/fault_plan_test.cpp.o"
+  "CMakeFiles/check_fault_plan_test.dir/fault_plan_test.cpp.o.d"
+  "check_fault_plan_test"
+  "check_fault_plan_test.pdb"
+  "check_fault_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_fault_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

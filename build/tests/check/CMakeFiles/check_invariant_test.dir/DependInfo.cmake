@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/check/invariant_test.cpp" "tests/check/CMakeFiles/check_invariant_test.dir/invariant_test.cpp.o" "gcc" "tests/check/CMakeFiles/check_invariant_test.dir/invariant_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/odcm_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/odcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/odcm_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmi/CMakeFiles/odcm_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_invariant_test.dir/invariant_test.cpp.o"
+  "CMakeFiles/check_invariant_test.dir/invariant_test.cpp.o.d"
+  "check_invariant_test"
+  "check_invariant_test.pdb"
+  "check_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_torture_test.dir/torture_test.cpp.o"
+  "CMakeFiles/check_torture_test.dir/torture_test.cpp.o.d"
+  "check_torture_test"
+  "check_torture_test.pdb"
+  "check_torture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/check
+# Build directory: /root/repo/build/tests/check
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/check/check_fault_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/check/check_invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/check/check_torture_test[1]_include.cmake")

@@ -11,4 +11,5 @@ include("/root/repo/build/tests/core/core_param_protocol_test[1]_include.cmake")
 include("/root/repo/build/tests/core/core_trace_test[1]_include.cmake")
 include("/root/repo/build/tests/core/core_eviction_test[1]_include.cmake")
 include("/root/repo/build/tests/core/core_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_wire_fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/core/core_ring_bootstrap_test[1]_include.cmake")

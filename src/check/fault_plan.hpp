@@ -1,0 +1,124 @@
+// Scriptable, seeded fault schedules for the UD control channel.
+//
+// The fabric's built-in fault knobs (`ud_drop_rate`, `ud_duplicate_rate`,
+// `ud_jitter_max`) are i.i.d. per datagram — good for soak testing, useless
+// for reproducing a *specific* adversarial interleaving. A `FaultPlan`
+// drives the fabric's per-datagram fault hook (`Fabric::set_ud_fault_hook`)
+// from its own seeded RNG, so a plan can:
+//
+//   * target drops at a packet class (ConnectRequest vs ConnectReply), a
+//     src/dst rank pair, and an attempt window ("drop the first 3 requests
+//     from 2 to 5");
+//   * inject duplicate bursts (the UD channel legally duplicates);
+//   * stretch delivery latency inside adversarial jitter windows;
+//   * kill the destination UD QP mid-handshake;
+//   * run a blackout window during which nothing gets through.
+//
+// Determinism: the plan's decisions come from the plan's own RNG stream,
+// never from the fabric RNG, so installing a plan does not perturb the
+// fabric's background randomness. Same seed + same recipe => bit-identical
+// schedule. `describe()` renders the schedule for one-command replay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace odcm::check {
+
+/// Coarse classification of a UD datagram by its first payload byte
+/// (`UdMsgType`); `kAny` matches everything including malformed frames.
+enum class PacketClass : std::uint8_t {
+  kAny,
+  kConnectRequest,
+  kConnectReply,
+};
+
+[[nodiscard]] const char* to_string(PacketClass klass) noexcept;
+
+/// One targeted rule. Rules are evaluated in order; the first rule whose
+/// filters match (and whose `skip`/`count` window is open) decides the
+/// datagram's fate.
+struct FaultRule {
+  PacketClass klass = PacketClass::kAny;
+  std::optional<fabric::RankId> src{};  ///< match sender rank
+  std::optional<fabric::RankId> dst{};  ///< match destination rank
+  std::uint32_t skip = 0;   ///< let this many matches through untouched
+  std::uint32_t count = 1;  ///< then apply the fault to this many
+  bool drop = false;
+  std::uint32_t duplicates = 0;
+  sim::Time extra_delay = 0;
+  bool kill_dst_qp = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Nothing sent inside [begin, end) arrives. With `rank` set, only
+/// datagrams from or to that rank are affected.
+struct Blackout {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  std::optional<fabric::RankId> rank{};
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// i.i.d. background noise applied (from the plan's own RNG) to
+  /// datagrams no rule matched.
+  void set_background(double drop_rate, double duplicate_rate,
+                      sim::Time jitter_max);
+
+  void add_rule(FaultRule rule);
+  void add_blackout(Blackout window);
+
+  /// Point the fabric's UD fault hook at this plan. The plan must outlive
+  /// the fabric run (or the hook be cleared first).
+  void install(fabric::Fabric& fabric);
+
+  /// Decide the fate of one datagram (exposed for unit tests).
+  [[nodiscard]] fabric::UdFault decide(const fabric::UdSendContext& ctx);
+
+  /// Human-readable schedule, one line, for replay instructions.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+
+  /// Number of canned recipes `from_recipe` understands.
+  static constexpr std::uint32_t kRecipeCount = 8;
+  [[nodiscard]] static const char* recipe_name(std::uint32_t recipe) noexcept;
+
+  /// Build a plan from a canned recipe id in [0, kRecipeCount). The seed
+  /// picks the recipe's random parameters (targeted ranks, window sizes)
+  /// and drives its background noise; `ranks` bounds the targetable ranks.
+  [[nodiscard]] static FaultPlan from_recipe(std::uint32_t recipe,
+                                             std::uint64_t seed,
+                                             std::uint32_t ranks);
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::uint32_t matched = 0;  ///< matches seen so far (incl. skipped)
+  };
+
+  [[nodiscard]] static PacketClass classify(const fabric::UdSendContext& ctx);
+
+  std::uint64_t seed_;
+  sim::Rng rng_;
+  double background_drop_ = 0.0;
+  double background_duplicate_ = 0.0;
+  sim::Time background_jitter_ = 0;
+  std::vector<RuleState> rules_{};
+  std::vector<Blackout> blackouts_{};
+  std::uint64_t decisions_ = 0;
+  std::string recipe_label_{};
+};
+
+}  // namespace odcm::check

@@ -1,0 +1,244 @@
+#include "check/invariants.hpp"
+
+#include <sstream>
+
+namespace odcm::check {
+
+using core::PeerPhase;
+using core::PeerRole;
+using core::ProtocolEvent;
+
+namespace {
+
+bool legal_transition(PeerPhase from, PeerPhase to, PeerRole role) {
+  switch (from) {
+    case PeerPhase::kIdle:
+      return to == PeerPhase::kRequesting || to == PeerPhase::kEstablishing ||
+             // Only the static connector may skip the handshake entirely.
+             (to == PeerPhase::kConnected && role == PeerRole::kStatic);
+    case PeerPhase::kRequesting:
+      return to == PeerPhase::kEstablishing;
+    case PeerPhase::kEstablishing:
+      return to == PeerPhase::kConnected;
+    case PeerPhase::kConnected:
+      return to == PeerPhase::kDraining || to == PeerPhase::kIdle;
+    case PeerPhase::kDraining:
+      // kEstablishing: the peer's new ConnectRequest doubles as the drain
+      // ack (handle_conn_request).
+      return to == PeerPhase::kIdle || to == PeerPhase::kEstablishing;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string InvariantChecker::format(const ProtocolEvent& event) {
+  std::ostringstream out;
+  out << "pe" << event.self << " peer=" << event.peer << " ";
+  switch (event.kind) {
+    case ProtocolEvent::Kind::kPhaseChange:
+      out << to_string(event.from) << "->" << to_string(event.to)
+          << " role=" << to_string(event.role);
+      break;
+    case ProtocolEvent::Kind::kRetransmit:
+      out << "retransmit attempt=" << event.attempt;
+      break;
+    case ProtocolEvent::Kind::kReplyResend: out << "reply-resend"; break;
+    case ProtocolEvent::Kind::kCollision: out << "collision"; break;
+    case ProtocolEvent::Kind::kRequestHeld: out << "request-held"; break;
+    case ProtocolEvent::Kind::kQpBound: out << "qp-bound"; break;
+    case ProtocolEvent::Kind::kQpUnbound: out << "qp-unbound"; break;
+    case ProtocolEvent::Kind::kPayloadInstalled:
+      out << "payload-installed";
+      break;
+    case ProtocolEvent::Kind::kRdmaIssued: out << "rdma-issued"; break;
+  }
+  return out.str();
+}
+
+void InvariantChecker::remember(const ProtocolEvent& event) {
+  if (history_.size() == options_.history_limit) {
+    history_.pop_front();
+  }
+  history_.push_back(format(event));
+}
+
+std::string InvariantChecker::history() const {
+  std::ostringstream out;
+  for (const std::string& line : history_) {
+    out << "  " << line << "\n";
+  }
+  return out.str();
+}
+
+void InvariantChecker::fail(const ProtocolEvent& event,
+                            const std::string& reason) const {
+  std::ostringstream out;
+  out << "protocol invariant violated: " << reason << "\n  at event: ["
+      << format(event) << "]\n  recent events (oldest first):\n"
+      << history();
+  throw InvariantViolation(out.str());
+}
+
+void InvariantChecker::check_phase_change(const ProtocolEvent& event,
+                                          PairState& pair) {
+  if (event.from != pair.phase) {
+    fail(event, "phase mutated outside set_phase (observer saw " +
+                    std::string(to_string(pair.phase)) +
+                    ", conduit reports " + to_string(event.from) + ")");
+  }
+  if (event.from == event.to) {
+    fail(event, "self-transition (phase set to its current value)");
+  }
+  if (!legal_transition(event.from, event.to, event.role)) {
+    fail(event, std::string("illegal transition ") + to_string(event.from) +
+                    " -> " + to_string(event.to));
+  }
+  if (event.to == PeerPhase::kConnected) {
+    if (!pair.has_qp) {
+      fail(event, "reached Connected without an RC QP bound");
+    }
+    if (event.role == PeerRole::kNone) {
+      fail(event, "reached Connected without a role");
+    }
+    if (options_.payloads_expected && event.self != event.peer &&
+        event.role != PeerRole::kStatic && !pair.payload_installed) {
+      fail(event,
+           "reached Connected before the peer's piggybacked payload was "
+           "installed (segment keys would be missing)");
+    }
+    pair.last_attempt = 0;
+    ++pair.connect_count;
+  }
+  if (event.from == PeerPhase::kConnected) {
+    // The next establishment must install a fresh payload.
+    pair.payload_installed = false;
+  }
+  pair.phase = event.to;
+  pair.role = event.role;
+}
+
+void InvariantChecker::on_event(const ProtocolEvent& event) {
+  ++events_seen_;
+  PairState& pair = pairs_[{event.self, event.peer}];
+  switch (event.kind) {
+    case ProtocolEvent::Kind::kPhaseChange:
+      check_phase_change(event, pair);
+      break;
+    case ProtocolEvent::Kind::kRetransmit:
+      if (event.attempt > options_.max_retries) {
+        fail(event, "retransmit attempt exceeds conn_max_retries");
+      }
+      if (pair.phase != PeerPhase::kRequesting) {
+        fail(event, "retransmit while not in Requesting");
+      }
+      pair.last_attempt = event.attempt;
+      break;
+    case ProtocolEvent::Kind::kReplyResend:
+      if (pair.phase != PeerPhase::kConnected ||
+          pair.role != PeerRole::kServer) {
+        fail(event, "cached reply resent by a non-server or before "
+                    "Connected (duplicate suppression broken)");
+      }
+      break;
+    case ProtocolEvent::Kind::kCollision:
+      if (event.peer >= event.self) {
+        fail(event, "collision resolved in favor of the higher rank");
+      }
+      if (pair.phase != PeerPhase::kRequesting) {
+        fail(event, "collision absorbed while not in Requesting");
+      }
+      break;
+    case ProtocolEvent::Kind::kRequestHeld:
+      break;  // informational
+    case ProtocolEvent::Kind::kQpBound:
+      if (pair.has_qp) {
+        fail(event, "RC QP bound over an existing binding (leak)");
+      }
+      pair.has_qp = true;
+      break;
+    case ProtocolEvent::Kind::kQpUnbound:
+      if (!pair.has_qp) {
+        fail(event, "QP unbound twice");
+      }
+      pair.has_qp = false;
+      break;
+    case ProtocolEvent::Kind::kPayloadInstalled:
+      pair.payload_installed = true;
+      break;
+    case ProtocolEvent::Kind::kRdmaIssued:
+      if (pair.phase != PeerPhase::kConnected) {
+        fail(event, "RMA issued toward a peer that is not Connected");
+      }
+      if (options_.payloads_expected && event.self != event.peer &&
+          pair.role != PeerRole::kStatic && !pair.payload_installed) {
+        fail(event, "RMA issued before the peer's segment keys (payload) "
+                    "were installed");
+      }
+      break;
+  }
+  remember(event);
+}
+
+void InvariantChecker::check_final(core::ConduitJob& job,
+                                   bool after_teardown) {
+  ProtocolEvent none;  // placeholder for fail()'s report
+  none.kind = ProtocolEvent::Kind::kPhaseChange;
+
+  for (fabric::RankId r = 0; r < job.ranks(); ++r) {
+    core::Conduit& conduit = job.conduit(r);
+    const sim::StatSet& stats = conduit.stats();
+    std::uint64_t connected = conduit.connected_peer_count();
+    none.self = r;
+    auto counter = [&stats](const char* name) {
+      return static_cast<std::uint64_t>(stats.counter(name));
+    };
+    if (counter("qp_created_rc") < connected) {
+      fail(none, "stats: qp_created_rc < connected peer count at pe" +
+                     std::to_string(r));
+    }
+    if (counter("connections_established") < connected) {
+      fail(none, "stats: connections_established < connected peer count "
+                 "at pe" + std::to_string(r));
+    }
+    std::uint64_t budget = counter("conn_requests_initiated") *
+                           static_cast<std::uint64_t>(options_.max_retries);
+    if (counter("conn_retransmits") > budget) {
+      fail(none, "stats: conn_retransmits exceeds the per-request retry "
+                 "budget at pe" + std::to_string(r));
+    }
+  }
+
+  for (const auto& [key, pair] : pairs_) {
+    none.self = key.first;
+    none.peer = key.second;
+    if (pair.phase == PeerPhase::kRequesting ||
+        pair.phase == PeerPhase::kEstablishing) {
+      fail(none, "run ended with a handshake still in flight");
+    }
+    if (pair.phase == PeerPhase::kConnected && key.first != key.second) {
+      auto mirror = pairs_.find({key.second, key.first});
+      if (mirror != pairs_.end() &&
+          mirror->second.phase == PeerPhase::kConnected &&
+          pair.role == PeerRole::kClient &&
+          mirror->second.role == PeerRole::kClient) {
+        fail(none, "both endpoints of an established pair believe they are "
+                   "the client (collision resolution broke)");
+      }
+    }
+  }
+
+  if (after_teardown) {
+    for (fabric::NodeId n = 0; n < job.fabric().node_count(); ++n) {
+      if (job.fabric().hca(n).qps_active() != 0) {
+        none.self = 0;
+        none.peer = 0;
+        fail(none, "QP leak: node " + std::to_string(n) + " still has " +
+                       std::to_string(job.fabric().hca(n).qps_active()) +
+                       " active QPs after finalize");
+      }
+    }
+  }
+}
+
+}  // namespace odcm::check

@@ -1,0 +1,99 @@
+// Protocol invariant checking for the on-demand connection handshake.
+//
+// `InvariantChecker` observes the job-wide `ProtocolEvent` stream (see
+// core/observer.hpp) and validates, after every event:
+//
+//   * phase transitions follow the legal phase graph;
+//   * the observer's mirror of each (self, peer) phase matches what the
+//     conduit reports in the event — an unobserved mutation (a `p.phase =`
+//     that bypassed `set_phase`) is itself a violation;
+//   * a pair reaches kConnected only with an RC QP bound, a role assigned,
+//     and (when the upper layer piggybacks payloads) the peer's payload
+//     installed first;
+//   * a QP is never bound over an existing binding, never unbound twice;
+//   * retransmit attempts never exceed the configured budget;
+//   * collisions resolve in favor of the lower rank (the event fires at the
+//     higher-ranked absorber);
+//   * RMA is issued only toward kConnected peers whose payload (segment
+//     keys) is installed.
+//
+// `check_final` then audits end-of-run state: terminal phases, role
+// complementarity, stats reconciliation (qp_created_rc >= connected peers,
+// retransmits within budget) and — after teardown — that no QP leaked.
+//
+// A violation throws `InvariantViolation` whose message embeds the recent
+// event tail, so a torture-runner failure is immediately diagnosable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/conduit.hpp"
+#include "core/observer.hpp"
+
+namespace odcm::check {
+
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class InvariantChecker final : public core::ProtocolObserver {
+ public:
+  struct Options {
+    /// Mirrors ConduitConfig::conn_max_retries.
+    std::uint32_t max_retries = 64;
+    /// The workload installed payload hooks, so non-static remote
+    /// connections must install the peer payload before kConnected.
+    bool payloads_expected = false;
+    /// Recent events kept for the violation report.
+    std::size_t history_limit = 48;
+  };
+
+  InvariantChecker() = default;
+  explicit InvariantChecker(Options options) : options_(options) {}
+
+  void on_event(const core::ProtocolEvent& event) override;
+
+  /// End-of-run audit. Call after `Engine::run` returned; with
+  /// `after_teardown` (the job bodies finalized their conduits) it also
+  /// checks that no QP leaked.
+  void check_final(core::ConduitJob& job, bool after_teardown);
+
+  [[nodiscard]] std::uint64_t events_seen() const noexcept {
+    return events_seen_;
+  }
+
+  /// The recent-event tail, formatted one per line (for failure reports).
+  [[nodiscard]] std::string history() const;
+
+ private:
+  struct PairState {
+    core::PeerPhase phase = core::PeerPhase::kIdle;
+    core::PeerRole role = core::PeerRole::kNone;
+    bool has_qp = false;
+    bool payload_installed = false;
+    std::uint32_t last_attempt = 0;
+    std::uint64_t connect_count = 0;  ///< times the pair reached kConnected
+  };
+
+  using PairKey = std::pair<fabric::RankId, fabric::RankId>;
+
+  [[noreturn]] void fail(const core::ProtocolEvent& event,
+                         const std::string& reason) const;
+  void check_phase_change(const core::ProtocolEvent& event, PairState& pair);
+  void remember(const core::ProtocolEvent& event);
+  [[nodiscard]] static std::string format(const core::ProtocolEvent& event);
+
+  Options options_{};
+  std::map<PairKey, PairState> pairs_{};
+  std::deque<std::string> history_{};
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace odcm::check

@@ -1,0 +1,196 @@
+#include "check/torture.hpp"
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "fabric/address_space.hpp"
+#include "sim/engine.hpp"
+
+namespace odcm::check {
+
+const char* to_string(TortureMode mode) noexcept {
+  switch (mode) {
+    case TortureMode::kOnDemand: return "on-demand";
+    case TortureMode::kStatic: return "static";
+    case TortureMode::kEvictionCapped: return "eviction-capped";
+  }
+  return "?";
+}
+
+std::string replay_command(const TortureCase& c) {
+  std::ostringstream out;
+  out << "check_sweep --seed " << c.seed << " --recipe " << c.recipe
+      << " --mode " << static_cast<int>(c.mode) << " --ranks " << c.ranks
+      << " --ppn " << c.ppn << " --rounds " << c.rounds;
+  if (c.inject_duplicate_suppression_bug) {
+    out << " --inject-dup-bug";
+  }
+  return out.str();
+}
+
+namespace {
+
+core::JobConfig make_config(const TortureCase& c) {
+  core::JobConfig config;
+  config.ranks = c.ranks;
+  config.ranks_per_node = c.ppn;
+  switch (c.mode) {
+    case TortureMode::kOnDemand:
+      config.conduit = core::proposed_design();
+      break;
+    case TortureMode::kStatic:
+      config.conduit = core::current_design();
+      break;
+    case TortureMode::kEvictionCapped:
+      config.conduit = core::proposed_design();
+      config.conduit.max_active_connections = 2;
+      break;
+  }
+  config.conduit.test_skip_duplicate_suppression =
+      c.inject_duplicate_suppression_bug;
+  return config;
+}
+
+std::vector<std::byte> encode_rank(fabric::RankId rank) {
+  std::vector<std::byte> out(8);
+  std::uint64_t value = rank;
+  std::memcpy(out.data(), &value, 8);
+  return out;
+}
+
+}  // namespace
+
+TortureResult run_case(const TortureCase& c) {
+  TortureResult result;
+  const bool on_demand = c.mode != TortureMode::kStatic;
+
+  sim::Engine engine;
+  core::JobConfig config = make_config(c);
+  core::ConduitJob job(engine, config);
+
+  FaultPlan plan = FaultPlan::from_recipe(c.recipe, c.seed, c.ranks);
+  result.plan = plan.describe();
+  plan.install(job.fabric());
+
+  InvariantChecker::Options options;
+  options.max_retries = config.conduit.conn_max_retries;
+  options.payloads_expected = on_demand;
+  InvariantChecker checker(options);
+  job.set_observer(&checker);
+
+  // Per-rank RMA targets and traffic bookkeeping (the sim is single
+  // threaded, so plain shared vectors are race free).
+  std::vector<std::unique_ptr<fabric::AddressSpace>> spaces;
+  spaces.reserve(c.ranks);
+  for (fabric::RankId r = 0; r < c.ranks; ++r) {
+    spaces.push_back(std::make_unique<fabric::AddressSpace>(
+        r, fabric::make_va_base(r), 4096));
+  }
+  std::vector<fabric::MemoryRegion> mrs(c.ranks);
+  std::vector<std::uint64_t> am_sent(c.ranks, 0);
+  std::vector<std::uint64_t> am_received(c.ranks, 0);
+  std::vector<std::uint64_t> adds_sent(c.ranks, 0);
+  std::string body_failure;
+
+  job.spawn_all([&](core::Conduit& conduit) -> sim::Task<> {
+    fabric::RankId self = conduit.rank();
+    conduit.register_handler(
+        20, [&am_received, self](fabric::RankId,
+                                 std::vector<std::byte>) -> sim::Task<> {
+          ++am_received[self];
+          co_return;
+        });
+    if (on_demand) {
+      conduit.set_payload_hooks(
+          [self]() { return encode_rank(self); },
+          [&body_failure](fabric::RankId peer,
+                          std::span<const std::byte> payload) {
+            std::uint64_t value = ~0ULL;
+            if (payload.size() == 8) {
+              std::memcpy(&value, payload.data(), 8);
+            }
+            if (value != peer) {
+              body_failure = "piggybacked payload mismatch: expected rank " +
+                             std::to_string(peer) + ", decoded " +
+                             std::to_string(value);
+            }
+          });
+    }
+    co_await conduit.init();
+    mrs[self] = co_await conduit.hca().register_memory(
+        *spaces[self], spaces[self]->base(), spaces[self]->size());
+    if (on_demand) {
+      conduit.set_ready();
+    }
+    co_await conduit.barrier_global();
+
+    // Seeded traffic: each PE mixes AMs and remote atomics toward random
+    // peers. RC is reliable, so every atomic must land exactly once no
+    // matter what the fault plan does to the UD control channel.
+    sim::Rng traffic(c.seed * 1000003ULL + self);
+    for (std::uint32_t round = 0; round < c.rounds; ++round) {
+      auto dst =
+          static_cast<fabric::RankId>(traffic.next_below(c.ranks));
+      if (traffic.chance(0.5)) {
+        ++am_sent[dst];
+        co_await conduit.am_send(dst, 20, std::vector<std::byte>(16));
+      } else {
+        ++adds_sent[dst];
+        fabric::Completion wc = co_await conduit.atomic_fetch_add(
+            dst, mrs[dst].addr, mrs[dst].rkey, 1);
+        if (!wc.ok() && body_failure.empty()) {
+          body_failure = "atomic_fetch_add failed toward rank " +
+                         std::to_string(dst);
+        }
+      }
+    }
+    co_await conduit.barrier_global();
+  });
+
+  try {
+    engine.run();
+    checker.check_final(job, /*after_teardown=*/true);
+  } catch (const std::exception& error) {
+    result.failure = error.what();
+  }
+
+  if (result.failure.empty() && !body_failure.empty()) {
+    result.failure = body_failure;
+  }
+  if (result.failure.empty()) {
+    // Data integrity: counters in each PE's segment and AM tallies must
+    // reconcile exactly with what was sent.
+    for (fabric::RankId r = 0; r < c.ranks; ++r) {
+      std::uint64_t landed = 0;
+      std::memcpy(&landed, spaces[r]->bytes().data(), 8);
+      if (landed != adds_sent[r]) {
+        result.failure = "atomic adds lost or duplicated at rank " +
+                         std::to_string(r) + ": expected " +
+                         std::to_string(adds_sent[r]) + ", landed " +
+                         std::to_string(landed);
+        break;
+      }
+      if (am_received[r] != am_sent[r]) {
+        result.failure = "active messages lost at rank " +
+                         std::to_string(r) + ": expected " +
+                         std::to_string(am_sent[r]) + ", received " +
+                         std::to_string(am_received[r]);
+        break;
+      }
+    }
+  }
+
+  result.ok = result.failure.empty();
+  result.events_seen = checker.events_seen();
+  result.ud_datagrams = job.fabric().ud_datagrams_sent();
+  result.fault_decisions = plan.decisions();
+  if (!result.ok) {
+    result.failure += "\n  replay: " + replay_command(c) + "\n  plan: " +
+                      result.plan;
+  }
+  return result;
+}
+
+}  // namespace odcm::check

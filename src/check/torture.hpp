@@ -1,0 +1,57 @@
+// Multi-seed torture runner: a randomized traffic workload under a scripted
+// fault plan, with the invariant checker attached and full data-integrity
+// accounting.
+//
+// One `TortureCase` = (seed, fault recipe, connection mode, job shape).
+// `run_case` builds the job, installs the plan and the checker, runs the
+// workload to completion and audits the final state. Every failure carries
+// `replay_command(c)` — the exact `check_sweep` invocation that reproduces
+// it (the simulation is deterministic, so the replay is bit-identical).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/fault_plan.hpp"
+#include "check/invariants.hpp"
+
+namespace odcm::check {
+
+enum class TortureMode : std::uint8_t {
+  kOnDemand = 0,        ///< proposed design, unlimited connections
+  kStatic = 1,          ///< baseline static mesh
+  kEvictionCapped = 2,  ///< proposed design, max_active_connections = 2
+};
+
+[[nodiscard]] const char* to_string(TortureMode mode) noexcept;
+
+struct TortureCase {
+  std::uint64_t seed = 1;
+  std::uint32_t recipe = 0;  ///< FaultPlan::from_recipe id
+  TortureMode mode = TortureMode::kOnDemand;
+  std::uint32_t ranks = 6;
+  std::uint32_t ppn = 3;
+  std::uint32_t rounds = 4;  ///< traffic rounds per PE
+  /// TEST ONLY: enable ConduitConfig::test_skip_duplicate_suppression to
+  /// prove the checker catches a real protocol bug.
+  bool inject_duplicate_suppression_bug = false;
+};
+
+struct TortureResult {
+  bool ok = false;
+  std::string failure{};  ///< violation / exception text when !ok
+  std::uint64_t events_seen = 0;
+  std::uint64_t ud_datagrams = 0;
+  std::uint64_t fault_decisions = 0;
+  std::string plan{};  ///< FaultPlan::describe() of the plan that ran
+};
+
+/// The `check_sweep` command line reproducing `c`.
+[[nodiscard]] std::string replay_command(const TortureCase& c);
+
+/// Run one case to completion. Never throws: failures (invariant
+/// violations, data-integrity mismatches, deadlocks) come back in
+/// `TortureResult::failure`.
+[[nodiscard]] TortureResult run_case(const TortureCase& c);
+
+}  // namespace odcm::check

@@ -107,6 +107,7 @@ sim::Task<> Conduit::finalize() {
     if (peer.qp != nullptr) {
       co_await hca().destroy_qp(peer.qp->qpn());
       peer.qp = nullptr;
+      notify({.kind = ProtocolEvent::Kind::kQpUnbound, .peer = rank});
     }
   }
   for (fabric::QueuePair* qp : retired_qps_) {
@@ -244,6 +245,7 @@ sim::Task<fabric::Completion> Conduit::put(RankId dst, fabric::VirtAddr raddr,
                                            std::vector<std::byte> data) {
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_put");
+  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
   co_return co_await qp->rdma_write(raddr, rkey, std::move(data));
 }
 
@@ -252,6 +254,7 @@ sim::Task<fabric::Completion> Conduit::get(RankId dst, fabric::VirtAddr raddr,
                                            std::span<std::byte> dest) {
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_get");
+  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
   co_return co_await qp->rdma_read(raddr, rkey, dest);
 }
 
@@ -260,6 +263,7 @@ sim::Task<fabric::Completion> Conduit::atomic_fetch_add(
     std::uint64_t add) {
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_atomic");
+  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
   co_return co_await qp->fetch_add(raddr, rkey, add);
 }
 
@@ -268,6 +272,7 @@ sim::Task<fabric::Completion> Conduit::atomic_compare_swap(
     std::uint64_t expect, std::uint64_t desired) {
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_atomic");
+  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
   co_return co_await qp->compare_swap(raddr, rkey, expect, desired);
 }
 
@@ -277,6 +282,7 @@ sim::Task<fabric::Completion> Conduit::atomic_swap(RankId dst,
                                                    std::uint64_t value) {
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_atomic");
+  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
   co_return co_await qp->swap(raddr, rkey, value);
 }
 
@@ -378,6 +384,16 @@ std::uint64_t Conduit::connected_peer_count() const {
     if (peer.phase == Peer::Phase::kConnected) ++count;
   }
   return count;
+}
+
+PeerPhase Conduit::peer_phase(RankId rank) const {
+  auto it = peers_.find(rank);
+  return it == peers_.end() ? PeerPhase::kIdle : it->second.phase;
+}
+
+PeerRole Conduit::peer_role(RankId rank) const {
+  auto it = peers_.find(rank);
+  return it == peers_.end() ? PeerRole::kNone : it->second.role;
 }
 
 std::uint64_t Conduit::endpoints_created() const {

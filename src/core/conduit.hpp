@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/observer.hpp"
 #include "core/wire.hpp"
 #include "fabric/fabric.hpp"
 #include "pmi/pmi.hpp"
@@ -152,23 +153,23 @@ class Conduit {
   // ---- accounting (Figs 1, 5, 9; Table I) ----
 
   [[nodiscard]] sim::StatSet& stats() noexcept { return stats_; }
+  [[nodiscard]] const sim::StatSet& stats() const noexcept { return stats_; }
   /// Number of peers this PE holds an established connection to.
   [[nodiscard]] std::uint64_t connected_peer_count() const;
   /// IB endpoints (QPs) this PE created, including bulk-modeled ones.
   [[nodiscard]] std::uint64_t endpoints_created() const;
+  /// Connection phase / role toward `rank` (diagnostics and checkers).
+  [[nodiscard]] PeerPhase peer_phase(RankId rank) const;
+  [[nodiscard]] PeerRole peer_role(RankId rank) const;
 
  private:
   friend class ConduitJob;
 
   struct Peer {
-    enum class Role : std::uint8_t { kNone, kClient, kServer, kStatic };
-    enum class Phase : std::uint8_t {
-      kIdle,
-      kRequesting,     // client: request sent, awaiting reply
-      kEstablishing,   // transitioning QP states
-      kConnected,
-      kDraining,       // we evicted this connection, awaiting the ack
-    };
+    // Aliases keep the historical `Peer::Phase` / `Peer::Role` spelling;
+    // the enums live in observer.hpp so protocol observers can see them.
+    using Role = PeerRole;
+    using Phase = PeerPhase;
     Role role = Role::kNone;
     Phase phase = Phase::kIdle;
     fabric::QueuePair* qp = nullptr;
@@ -187,6 +188,13 @@ class Conduit {
   /// Record a connection-protocol trace event (no-op unless the job tracer
   /// is enabled).
   void trace(std::string_view category, std::string text);
+
+  /// Report `event` (with `self` filled in) to the job's protocol observer.
+  void notify(ProtocolEvent event);
+  /// Move `peer_rank`'s state machine to `next`, reporting the transition.
+  /// Every phase mutation must go through here so observers see the full
+  /// event stream.
+  void set_phase(RankId peer_rank, Peer& p, PeerPhase next);
 
   // Listener loops (detached root tasks).
   sim::Task<> ud_listener();
@@ -221,7 +229,7 @@ class Conduit {
   [[nodiscard]] std::uint64_t active_connection_count() const;
   void maybe_evict(RankId just_connected);
   sim::Task<> evict_connection(RankId victim);
-  void retire_qp(Peer& peer);
+  void retire_qp(RankId rank, Peer& peer);
   void handle_disconnect_notice(RankId src);
   void handle_disconnect_ack(RankId src);
   /// Retire our side and ack the peer's eviction notice.
@@ -320,6 +328,15 @@ class ConduitJob {
   /// capture the connection-protocol event stream).
   [[nodiscard]] sim::Tracer& tracer() noexcept { return tracer_; }
 
+  /// Install a protocol observer (e.g. `check::InvariantChecker`); it must
+  /// outlive the job run. Pass nullptr to detach.
+  void set_observer(ProtocolObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  [[nodiscard]] ProtocolObserver* observer() const noexcept {
+    return observer_;
+  }
+
  private:
   friend class Conduit;
 
@@ -337,6 +354,7 @@ class ConduitJob {
   std::vector<std::unique_ptr<Conduit>> conduits_{};
   std::vector<std::unique_ptr<NodeBarrier>> node_barriers_{};
   sim::Tracer tracer_{};
+  ProtocolObserver* observer_ = nullptr;
 };
 
 }  // namespace odcm::core

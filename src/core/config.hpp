@@ -71,6 +71,14 @@ struct ConduitConfig {
   /// graceful notice/ack drain, and a later message re-establishes it on
   /// demand. 0 = unlimited (the paper's design). On-demand mode only.
   std::uint32_t max_active_connections = 0;
+
+  /// TEST ONLY — deliberate protocol-bug injection for the fault-injection
+  /// harness (tests/check): when true the server treats a duplicate
+  /// ConnectRequest for an already-established connection as a fresh
+  /// request instead of resending the cached reply. Exists solely to prove
+  /// the invariant checker catches real protocol bugs; never enable
+  /// outside the torture suite.
+  bool test_skip_duplicate_suppression = false;
 };
 
 /// Everything needed to stand up a simulated job.

@@ -15,6 +15,27 @@ void Conduit::trace(std::string_view category, std::string text) {
   }
 }
 
+void Conduit::notify(ProtocolEvent event) {
+  if (job_.observer_ != nullptr) {
+    event.self = rank_;
+    job_.observer_->on_event(event);
+  }
+}
+
+void Conduit::set_phase(RankId peer_rank, Peer& p, PeerPhase next) {
+  if (job_.observer_ != nullptr) {
+    ProtocolEvent event;
+    event.kind = ProtocolEvent::Kind::kPhaseChange;
+    event.self = rank_;
+    event.peer = peer_rank;
+    event.from = p.phase;
+    event.to = next;
+    event.role = p.role;
+    job_.observer_->on_event(event);
+  }
+  p.phase = next;
+}
+
 void Conduit::open_established(sim::Engine& engine, Peer& peer) {
   if (!peer.established) {
     peer.established = std::make_unique<sim::Gate>(engine);
@@ -46,12 +67,15 @@ sim::Task<> Conduit::ensure_connected(RankId dst) {
       co_await self_connect();
       continue;
     }
-    if (!p.established) {
+    if (!p.established || p.established->is_open()) {
+      // An open gate here is stale (it belongs to a torn-down connection
+      // epoch; open gates never have waiters, so replacing is safe).
+      // Waiting on it would spin without advancing time.
       p.established = std::make_unique<sim::Gate>(engine());
     }
     if (p.phase == Peer::Phase::kIdle) {
-      p.phase = Peer::Phase::kRequesting;
       p.role = Peer::Role::kClient;
+      set_phase(dst, p, Peer::Phase::kRequesting);
       engine().spawn(client_connect(dst));
     }
     co_await p.established->wait();
@@ -67,8 +91,8 @@ sim::Task<> Conduit::self_connect() {
     co_await p.established->wait();
     co_return;
   }
-  p.phase = Peer::Phase::kEstablishing;
   p.role = Peer::Role::kClient;
+  set_phase(rank_, p, Peer::Phase::kEstablishing);
   if (!p.established) {
     p.established = std::make_unique<sim::Gate>(engine());
   }
@@ -80,7 +104,8 @@ sim::Task<> Conduit::self_connect() {
   co_await qp->transition(fabric::QpState::kRtr);
   co_await qp->transition(fabric::QpState::kRts);
   p.qp = qp;
-  p.phase = Peer::Phase::kConnected;
+  notify({.kind = ProtocolEvent::Kind::kQpBound, .peer = rank_});
+  set_phase(rank_, p, Peer::Phase::kConnected);
   stats_.add("connections_established");
   p.established->open();
   maybe_evict(rank_);  // self connections have no drain protocol
@@ -107,6 +132,7 @@ sim::Task<> Conduit::client_connect(RankId dst) {
     co_return;
   }
   p.qp = qp;
+  notify({.kind = ProtocolEvent::Kind::kQpBound, .peer = dst});
 
   ConnectPacket request;
   request.type = UdMsgType::kConnectRequest;
@@ -134,6 +160,9 @@ sim::Task<> Conduit::client_connect(RankId dst) {
       trace("conn.retransmit",
             "to " + std::to_string(dst) + " attempt " +
                 std::to_string(attempts));
+      notify({.kind = ProtocolEvent::Kind::kRetransmit,
+              .peer = dst,
+              .attempt = attempts});
     }
     ++attempts;
     (void)co_await ud_qp_->send_ud(peer_ud.lid, peer_ud.qpn, encoded);
@@ -148,10 +177,22 @@ void Conduit::handle_conn_request(ConnectPacket packet,
   Peer& p = peer(src);
   switch (p.phase) {
     case Peer::Phase::kConnected:
+      if (config().test_skip_duplicate_suppression) {
+        // TEST ONLY (see ConduitConfig): mishandle the duplicate as a
+        // fresh request. The Connected → Establishing transition is
+        // illegal and the invariant checker must flag it.
+        p.role = Peer::Role::kServer;
+        set_phase(src, p, Peer::Phase::kEstablishing);
+        engine().spawn(serve_request(src, packet.rc_addr,
+                                     std::move(packet.payload), reply_to,
+                                     /*collision=*/false));
+        return;
+      }
       if (p.role == Peer::Role::kServer && !p.cached_reply.empty()) {
         // Our reply was lost and the client retransmitted: resend it.
         stats_.add("conn_reply_resends");
         trace("conn.reply_resend", "to " + std::to_string(src));
+        notify({.kind = ProtocolEvent::Kind::kReplyResend, .peer = src});
         sim::spawn_discard(engine(),
                            ud_qp_->send_ud(p.reply_to.lid, p.reply_to.qpn,
                                            p.cached_reply));
@@ -162,9 +203,10 @@ void Conduit::handle_conn_request(ConnectPacket packet,
       // the lower rank is served; the higher rank's own request is dropped
       // by its peer and absorbed here.
       if (src < rank_) {
-        p.phase = Peer::Phase::kEstablishing;
         stats_.add("conn_collisions");
         trace("conn.collision", "with " + std::to_string(src));
+        notify({.kind = ProtocolEvent::Kind::kCollision, .peer = src});
+        set_phase(src, p, Peer::Phase::kEstablishing);
         engine().spawn(serve_request(src, packet.rc_addr,
                                      std::move(packet.payload), reply_to,
                                      /*collision=*/true));
@@ -174,17 +216,20 @@ void Conduit::handle_conn_request(ConnectPacket packet,
       return;  // duplicate while the state machine is running
     case Peer::Phase::kDraining:
       // The peer processed our eviction notice and is already
-      // re-initiating; its request doubles as the drain ack.
-      p.phase = Peer::Phase::kEstablishing;
+      // re-initiating; its request doubles as the drain ack. Retire the
+      // old epoch's QP first (the in-flight notice send keeps it alive in
+      // retired_qps_) so the fresh server-side QP does not leak it.
+      retire_qp(src, p);
       p.role = Peer::Role::kServer;
+      set_phase(src, p, Peer::Phase::kEstablishing);
       if (p.drained) p.drained->open();
       engine().spawn(serve_request(src, packet.rc_addr,
                                    std::move(packet.payload), reply_to,
                                    /*collision=*/false));
       return;
     case Peer::Phase::kIdle:
-      p.phase = Peer::Phase::kEstablishing;
       p.role = Peer::Role::kServer;
+      set_phase(src, p, Peer::Phase::kEstablishing);
       engine().spawn(serve_request(src, packet.rc_addr,
                                    std::move(packet.payload), reply_to,
                                    /*collision=*/false));
@@ -204,10 +249,12 @@ sim::Task<> Conduit::serve_request(RankId src,
   if (ready_gate_ && !ready_gate_->is_open()) {
     stats_.add("conn_requests_held");
     trace("conn.held", "request from " + std::to_string(src));
+    notify({.kind = ProtocolEvent::Kind::kRequestHeld, .peer = src});
     co_await ready_gate_->wait();
   }
 
   fabric::QueuePair* qp = nullptr;
+  bool fresh_qp = false;
   if (collision && p.qp != nullptr &&
       p.qp->state() == fabric::QpState::kInit) {
     qp = p.qp;  // reuse the QP our own client attempt created
@@ -215,14 +262,19 @@ sim::Task<> Conduit::serve_request(RankId src,
     qp = co_await hca().create_qp(fabric::QpType::kRc, rank_);
     stats_.add("qp_created_rc");
     co_await qp->transition(fabric::QpState::kInit);
+    fresh_qp = true;
   }
   qp->set_remote(client_addr);
   co_await qp->transition(fabric::QpState::kRtr);
   co_await qp->transition(fabric::QpState::kRts);
   p.qp = qp;
+  if (fresh_qp) {
+    notify({.kind = ProtocolEvent::Kind::kQpBound, .peer = src});
+  }
 
   if (payload_consumer_ && !payload.empty()) {
     payload_consumer_(src, payload);
+    notify({.kind = ProtocolEvent::Kind::kPayloadInstalled, .peer = src});
   }
 
   ConnectPacket reply;
@@ -235,7 +287,7 @@ sim::Task<> Conduit::serve_request(RankId src,
   p.cached_reply = reply.encode();
   p.reply_to = reply_to;
   p.role = Peer::Role::kServer;
-  p.phase = Peer::Phase::kConnected;
+  set_phase(src, p, Peer::Phase::kConnected);
   stats_.add("connections_established");
   trace("conn.established", "server side with " + std::to_string(src));
   (void)co_await ud_qp_->send_ud(reply_to.lid, reply_to.qpn, p.cached_reply);
@@ -250,7 +302,7 @@ void Conduit::handle_conn_reply(ConnectPacket packet) {
       p.role != Peer::Role::kClient || p.qp == nullptr) {
     return;  // duplicate or stale reply
   }
-  p.phase = Peer::Phase::kEstablishing;
+  set_phase(src, p, Peer::Phase::kEstablishing);
   engine().spawn(
       finish_client(src, packet.rc_addr, std::move(packet.payload)));
 }
@@ -264,8 +316,9 @@ sim::Task<> Conduit::finish_client(RankId src,
   co_await p.qp->transition(fabric::QpState::kRts);
   if (payload_consumer_ && !payload.empty()) {
     payload_consumer_(src, payload);
+    notify({.kind = ProtocolEvent::Kind::kPayloadInstalled, .peer = src});
   }
-  p.phase = Peer::Phase::kConnected;
+  set_phase(src, p, Peer::Phase::kConnected);
   stats_.add("connections_established");
   trace("conn.established", "client side with " + std::to_string(src));
   open_established(engine(), p);
@@ -312,7 +365,11 @@ void Conduit::maybe_evict(RankId just_connected) {
       }
     }
     if (victim == nullptr) break;  // nothing evictable
-    victim->phase = Peer::Phase::kDraining;
+    set_phase(victim_rank, *victim, Peer::Phase::kDraining);
+    // Invariant: the established gate is open iff the peer is connected.
+    // A stale open gate would make ensure_connected's wait loop spin
+    // synchronously once the drain resolves (open gates resume inline).
+    victim->established.reset();
     victim->drained = std::make_unique<sim::Gate>(engine());
     stats_.add("conn_evictions");
     trace("conn.evict", "lru victim " + std::to_string(victim_rank));
@@ -326,8 +383,8 @@ sim::Task<> Conduit::evict_connection(RankId victim) {
   fabric::QueuePair* qp = p.qp;
   if (victim == rank_) {
     // Self connection: no protocol needed.
-    retire_qp(p);
-    p.phase = Peer::Phase::kIdle;
+    retire_qp(victim, p);
+    set_phase(victim, p, Peer::Phase::kIdle);
     p.drained->open();
   } else {
     // Notify the peer over the existing RC connection, then deactivate our
@@ -335,7 +392,12 @@ sim::Task<> Conduit::evict_connection(RankId victim) {
     // the peer stays safe; its HCA context is reclaimed at finalize.
     AmPacket notice{/*handler=*/2, rank_, {}};
     (void)co_await qp->send(notice.encode());
-    retire_qp(p);
+    // While the notice was in flight the drain may already have resolved
+    // (symmetric eviction, or the peer's re-request doubling as the ack);
+    // those paths retire the QP themselves and a new epoch may own p.qp.
+    if (p.qp == qp) {
+      retire_qp(victim, p);
+    }
   }
   --pending_evictions_;
   if (pending_evictions_ == 0 && evictions_settled_) {
@@ -343,10 +405,11 @@ sim::Task<> Conduit::evict_connection(RankId victim) {
   }
 }
 
-void Conduit::retire_qp(Peer& peer) {
+void Conduit::retire_qp(RankId rank, Peer& peer) {
   if (peer.qp != nullptr) {
     retired_qps_.push_back(peer.qp);
     peer.qp = nullptr;
+    notify({.kind = ProtocolEvent::Kind::kQpUnbound, .peer = rank});
   }
   peer.role = Peer::Role::kNone;
   peer.cached_reply.clear();
@@ -358,8 +421,8 @@ void Conduit::perform_passive_drain(RankId src) {
   stats_.add("conn_evictions_passive");
   trace("conn.evicted_by_peer", "peer " + std::to_string(src));
   fabric::QueuePair* old = p.qp;
-  retire_qp(p);
-  p.phase = Peer::Phase::kIdle;
+  retire_qp(src, p);
+  set_phase(src, p, Peer::Phase::kIdle);
   p.remote_drain_pending = false;
   // Ack over the retired QP (still alive and RTS). Tracked like an
   // eviction so finalize waits for the send to complete.
@@ -381,8 +444,11 @@ void Conduit::handle_disconnect_notice(RankId src) {
       perform_passive_drain(src);
       return;
     case Peer::Phase::kDraining:
-      // Symmetric eviction: both sides already retired their QPs.
-      p.phase = Peer::Phase::kIdle;
+      // Symmetric eviction: both sides evicted concurrently. Our own
+      // evict_connection may still be sending its notice; retire the QP
+      // here so the peer slot is clean before any reconnect starts.
+      retire_qp(src, p);
+      set_phase(src, p, Peer::Phase::kIdle);
       if (p.drained) p.drained->open();
       return;
     case Peer::Phase::kRequesting:
@@ -399,7 +465,8 @@ void Conduit::handle_disconnect_notice(RankId src) {
 void Conduit::handle_disconnect_ack(RankId src) {
   Peer& p = peer(src);
   if (p.phase == Peer::Phase::kDraining) {
-    p.phase = Peer::Phase::kIdle;
+    retire_qp(src, p);  // usually a no-op: evict_connection retired it
+    set_phase(src, p, Peer::Phase::kIdle);
     if (p.drained) p.drained->open();
   }
 }
@@ -463,8 +530,9 @@ sim::Task<> Conduit::static_connect_all() {
       co_await qps[r]->transition(fabric::QpState::kRts);
       Peer& p = peer(r);
       p.qp = qps[r];
+      notify({.kind = ProtocolEvent::Kind::kQpBound, .peer = r});
       p.role = Peer::Role::kStatic;
-      p.phase = Peer::Phase::kConnected;
+      set_phase(r, p, Peer::Phase::kConnected);
     }
     stats_.add("connections_established", n);
   }
@@ -508,8 +576,9 @@ fabric::QueuePair* Conduit::materialize_bulk(RankId dst) {
     mine.set_remote(mine.addr());
     mine.force_state(fabric::QpState::kRts);
     p.qp = &mine;
+    notify({.kind = ProtocolEvent::Kind::kQpBound, .peer = rank_});
     p.role = Peer::Role::kStatic;
-    p.phase = Peer::Phase::kConnected;
+    set_phase(rank_, p, Peer::Phase::kConnected);
     return p.qp;
   }
   Conduit& other = job_.conduit(dst);
@@ -521,11 +590,13 @@ fabric::QueuePair* Conduit::materialize_bulk(RankId dst) {
   mine.force_state(fabric::QpState::kRts);
   theirs.force_state(fabric::QpState::kRts);
   p.qp = &mine;
+  notify({.kind = ProtocolEvent::Kind::kQpBound, .peer = dst});
   p.role = Peer::Role::kStatic;
-  p.phase = Peer::Phase::kConnected;
+  set_phase(dst, p, Peer::Phase::kConnected);
   q.qp = &theirs;
+  other.notify({.kind = ProtocolEvent::Kind::kQpBound, .peer = rank_});
   q.role = Peer::Role::kStatic;
-  q.phase = Peer::Phase::kConnected;
+  other.set_phase(rank_, q, Peer::Phase::kConnected);
   return p.qp;
 }
 

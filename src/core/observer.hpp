@@ -1,0 +1,95 @@
+// Protocol observation hooks for the conduit's connection state machine.
+//
+// Every consequential step of the on-demand handshake — phase transitions,
+// retransmissions, collisions, QP binding, piggyback-payload installation,
+// RMA issue — is reported to an optional `ProtocolObserver` registered on
+// the `ConduitJob`. The observer sees the job-wide, deterministic event
+// stream, which is what `check::InvariantChecker` validates protocol
+// invariants against (DESIGN.md §6). With no observer installed the hooks
+// cost one branch per event.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/types.hpp"
+
+namespace odcm::core {
+
+/// Connection phase of one `(self, peer)` endpoint pair. The legal phase
+/// graph (enforced by `check::InvariantChecker`) is:
+///
+///   kIdle        → kRequesting (client initiates)
+///   kIdle        → kEstablishing (server accepts / self-connect)
+///   kIdle        → kConnected (static connector only)
+///   kRequesting  → kEstablishing (reply received / collision takeover)
+///   kEstablishing→ kConnected
+///   kConnected   → kDraining (active eviction)
+///   kConnected   → kIdle (passive drain on peer's notice)
+///   kDraining    → kIdle (drain ack / symmetric eviction)
+///   kDraining    → kEstablishing (peer's new request doubles as the ack)
+enum class PeerPhase : std::uint8_t {
+  kIdle,
+  kRequesting,
+  kEstablishing,
+  kConnected,
+  kDraining,
+};
+
+/// Role this endpoint played when the connection was created.
+enum class PeerRole : std::uint8_t { kNone, kClient, kServer, kStatic };
+
+[[nodiscard]] constexpr const char* to_string(PeerPhase phase) noexcept {
+  switch (phase) {
+    case PeerPhase::kIdle: return "Idle";
+    case PeerPhase::kRequesting: return "Requesting";
+    case PeerPhase::kEstablishing: return "Establishing";
+    case PeerPhase::kConnected: return "Connected";
+    case PeerPhase::kDraining: return "Draining";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(PeerRole role) noexcept {
+  switch (role) {
+    case PeerRole::kNone: return "None";
+    case PeerRole::kClient: return "Client";
+    case PeerRole::kServer: return "Server";
+    case PeerRole::kStatic: return "Static";
+  }
+  return "?";
+}
+
+/// One observed protocol step at PE `self` concerning `peer`.
+struct ProtocolEvent {
+  enum class Kind : std::uint8_t {
+    kPhaseChange,       ///< `from` → `to` (role is the role at that moment).
+    kRetransmit,        ///< Client retransmitted; `attempt` is the ordinal.
+    kReplyResend,       ///< Server re-sent a cached reply for a dup request.
+    kCollision,         ///< Simultaneous connect absorbed at `self`.
+    kRequestHeld,       ///< Request held until the upper layer is ready.
+    kQpBound,           ///< An RC QP was bound to the peer slot.
+    kQpUnbound,         ///< The peer's RC QP was retired/unbound.
+    kPayloadInstalled,  ///< Piggybacked payload consumed for `peer`.
+    kRdmaIssued,        ///< A put/get/atomic was issued toward `peer`.
+  };
+
+  Kind kind = Kind::kPhaseChange;
+  fabric::RankId self = 0;
+  fabric::RankId peer = 0;
+  PeerPhase from = PeerPhase::kIdle;  ///< kPhaseChange only.
+  PeerPhase to = PeerPhase::kIdle;    ///< kPhaseChange only.
+  PeerRole role = PeerRole::kNone;
+  std::uint32_t attempt = 0;  ///< kRetransmit only.
+};
+
+/// Interface for job-wide protocol observation. Implementations may throw
+/// from `on_event` (e.g. on an invariant violation); the exception unwinds
+/// through the conduit task that caused the event and surfaces from
+/// `Engine::run`.
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+  virtual void on_event(const ProtocolEvent& event) = 0;
+};
+
+}  // namespace odcm::core

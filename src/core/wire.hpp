@@ -61,9 +61,19 @@ class Reader {
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 
+  /// Reject trailing garbage: decoders of fixed-layout packets call this
+  /// after the last field so corrupt frames fail loudly instead of being
+  /// silently accepted.
+  void expect_end() const {
+    if (remaining() != 0) {
+      throw std::runtime_error("wire::Reader: trailing bytes in packet");
+    }
+  }
+
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > data_.size()) {
+    // Overflow-safe: compare against what is left, never pos_ + n.
+    if (n > data_.size() - pos_) {
       throw std::runtime_error("wire::Reader: truncated packet");
     }
   }
@@ -103,12 +113,18 @@ struct ConnectPacket {
   static ConnectPacket decode(std::span<const std::byte> data) {
     wire::Reader reader(data);
     ConnectPacket packet;
-    packet.type = static_cast<UdMsgType>(reader.read_int<std::uint8_t>());
+    auto raw_type = reader.read_int<std::uint8_t>();
+    if (raw_type != static_cast<std::uint8_t>(UdMsgType::kConnectRequest) &&
+        raw_type != static_cast<std::uint8_t>(UdMsgType::kConnectReply)) {
+      throw std::runtime_error("ConnectPacket: unknown message type");
+    }
+    packet.type = static_cast<UdMsgType>(raw_type);
     packet.src_rank = reader.read_int<std::uint32_t>();
     packet.rc_addr.lid = reader.read_int<std::uint16_t>();
     packet.rc_addr.qpn = reader.read_int<std::uint32_t>();
     auto payload_len = reader.read_int<std::uint32_t>();
     packet.payload = reader.read_bytes(payload_len);
+    reader.expect_end();
     return packet;
   }
 };

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -46,6 +47,36 @@ struct MemoryRegion {
   std::uint64_t size = 0;
   RKey rkey = 0;
 };
+
+/// Fault decision for one UD datagram, produced by an installed
+/// `UdFaultHook` (see `src/check/fault_plan.hpp`). The hook extends the
+/// i.i.d. `FabricConfig` rates with scriptable, per-packet schedules:
+/// targeted drops, duplicate bursts, adversarial delay, and QP kill.
+struct UdFault {
+  bool drop = false;             ///< Lose the datagram entirely.
+  std::uint32_t duplicates = 0;  ///< Extra copies delivered after the first.
+  sim::Time extra_delay = 0;     ///< Added to the wire latency (reordering).
+  /// Force the destination QP into the error state at departure time,
+  /// simulating a mid-handshake QP death; the datagram itself is lost.
+  bool kill_dst_qp = false;
+};
+
+/// Everything a fault hook may key its decision on. `payload` aliases the
+/// send buffer and is only valid for the duration of the hook call.
+struct UdSendContext {
+  RankId src_rank = 0;  ///< Owner of the sending QP.
+  RankId dst_rank = 0;  ///< Owner of the destination QP (0 if unresolvable).
+  Lid src_lid = 0;
+  Lid dst_lid = 0;
+  Qpn src_qpn = 0;
+  Qpn dst_qpn = 0;
+  std::span<const std::byte> payload{};
+  std::uint64_t index = 0;  ///< Job-wide ordinal of this datagram.
+  sim::Time now = 0;        ///< Virtual time of the send.
+};
+
+/// Consulted once per UD send, before the i.i.d. configuration rates.
+using UdFaultHook = std::function<UdFault(const UdSendContext&)>;
 
 /// A simulated queue pair. Created through `Hca::create_qp`; owned by the
 /// HCA and destroyed through `Hca::destroy_qp`.
@@ -296,6 +327,21 @@ class Fabric {
   [[nodiscard]] sim::Time transfer_latency(Lid src, Lid dst,
                                            std::size_t bytes) const;
 
+  // ---- scripted fault injection (src/check) ----
+
+  /// Install (or clear, with an empty function) the per-datagram fault
+  /// hook. The hook is consulted for every UD send, in addition to the
+  /// i.i.d. `FabricConfig` loss/duplication rates.
+  void set_ud_fault_hook(UdFaultHook hook) { ud_fault_hook_ = std::move(hook); }
+  [[nodiscard]] const UdFaultHook& ud_fault_hook() const noexcept {
+    return ud_fault_hook_;
+  }
+  /// Job-wide ordinal for the next UD datagram (consumed by `send_ud`).
+  [[nodiscard]] std::uint64_t next_ud_index() noexcept { return ud_sent_++; }
+  [[nodiscard]] std::uint64_t ud_datagrams_sent() const noexcept {
+    return ud_sent_;
+  }
+
   /// Job-wide QP count (diagnostics / Fig 9 aggregation).
   [[nodiscard]] std::uint64_t total_qps_created() const;
 
@@ -304,6 +350,8 @@ class Fabric {
   FabricConfig config_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Hca>> hcas_{};
+  UdFaultHook ud_fault_hook_{};
+  std::uint64_t ud_sent_ = 0;
 };
 
 }  // namespace odcm::fabric

@@ -409,12 +409,38 @@ sim::Task<Completion> QueuePair::send_ud_impl(Lid dlid, Qpn dqpn,
     });
   };
 
-  bool dropped = fabric.rng().chance(cfg.ud_drop_rate);
+  // Scripted fault schedule (if installed) composes with the i.i.d. rates:
+  // the hook sees every datagram and may drop, duplicate, delay, or kill
+  // the destination QP outright.
+  UdFault fault{};
+  if (fabric.ud_fault_hook()) {
+    UdSendContext ctx;
+    ctx.src_rank = owner_;
+    QueuePair* dst_peek = fabric.hca_by_lid(dlid).find_qp(dqpn);
+    ctx.dst_rank = dst_peek != nullptr ? dst_peek->owner() : 0;
+    ctx.src_lid = lid();
+    ctx.dst_lid = dlid;
+    ctx.src_qpn = qpn_;
+    ctx.dst_qpn = dqpn;
+    ctx.payload = payload;
+    ctx.index = fabric.next_ud_index();
+    ctx.now = engine.now();
+    fault = fabric.ud_fault_hook()(ctx);
+  }
+
+  if (fault.kill_dst_qp) {
+    engine.schedule_at(depart, [&fabric, dlid, dqpn] {
+      QueuePair* dst = fabric.hca_by_lid(dlid).find_qp(dqpn);
+      if (dst != nullptr) dst->set_error();
+    });
+  }
+  bool dropped = fault.drop || fault.kill_dst_qp;
+  dropped = fabric.rng().chance(cfg.ud_drop_rate) || dropped;
   if (!dropped) {
     sim::Time jitter =
         cfg.ud_jitter_max > 0 ? fabric.rng().next_below(cfg.ud_jitter_max) : 0;
-    sim::Time latency =
-        fabric.transfer_latency(lid(), dlid, payload.size()) + jitter;
+    sim::Time latency = fabric.transfer_latency(lid(), dlid, payload.size()) +
+                        jitter + fault.extra_delay;
     auto gram = std::make_shared<UdDatagram>(
         UdDatagram{lid(), qpn_, std::move(payload)});
     deliver(depart + latency, gram);
@@ -423,6 +449,9 @@ sim::Task<Completion> QueuePair::send_ud_impl(Lid dlid, Qpn dqpn,
                               ? fabric.rng().next_below(cfg.ud_jitter_max)
                               : cfg.wire_latency;
       deliver(depart + latency + jitter2 + 1, gram);
+    }
+    for (std::uint32_t copy = 0; copy < fault.duplicates; ++copy) {
+      deliver(depart + latency + (copy + 1) * (cfg.wire_latency + 1), gram);
     }
   }
 

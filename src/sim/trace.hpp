@@ -72,6 +72,19 @@ class Tracer {
     }
   }
 
+  /// Dump only the `n` most recent records (same CSV layout). Failure
+  /// reports use this to show the event tail leading up to a violation
+  /// without flooding the log.
+  void dump_tail(std::ostream& out, std::size_t n) const {
+    out << "time_ns,category,actor,text\n";
+    std::size_t skip = records_.size() > n ? records_.size() - n : 0;
+    for (std::size_t i = skip; i < records_.size(); ++i) {
+      const Record& record = records_[i];
+      out << record.time << ',' << record.category << ',' << record.actor
+          << ",\"" << record.text << "\"\n";
+    }
+  }
+
  private:
   bool enabled_ = false;
   std::size_t capacity_;

@@ -1,0 +1,211 @@
+// Unit tests for the protocol invariant checker: the legality table, the
+// observer-mirror cross-check, and end-to-end operation on real jobs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "sim/engine.hpp"
+
+namespace odcm::check {
+namespace {
+
+using core::PeerPhase;
+using core::PeerRole;
+using core::ProtocolEvent;
+
+ProtocolEvent phase_event(fabric::RankId self, fabric::RankId peer,
+                          PeerPhase from, PeerPhase to,
+                          PeerRole role = PeerRole::kClient) {
+  ProtocolEvent event;
+  event.kind = ProtocolEvent::Kind::kPhaseChange;
+  event.self = self;
+  event.peer = peer;
+  event.from = from;
+  event.to = to;
+  event.role = role;
+  return event;
+}
+
+ProtocolEvent simple(ProtocolEvent::Kind kind, fabric::RankId self,
+                     fabric::RankId peer) {
+  ProtocolEvent event;
+  event.kind = kind;
+  event.self = self;
+  event.peer = peer;
+  return event;
+}
+
+TEST(InvariantChecker, AcceptsTheCanonicalClientPath) {
+  InvariantChecker checker;
+  checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                               PeerPhase::kRequesting));
+  checker.on_event(phase_event(0, 1, PeerPhase::kRequesting,
+                               PeerPhase::kEstablishing));
+  checker.on_event(simple(ProtocolEvent::Kind::kQpBound, 0, 1));
+  checker.on_event(phase_event(0, 1, PeerPhase::kEstablishing,
+                               PeerPhase::kConnected));
+  EXPECT_EQ(checker.events_seen(), 4u);
+}
+
+TEST(InvariantChecker, RejectsIllegalTransition) {
+  InvariantChecker checker;
+  checker.on_event(simple(ProtocolEvent::Kind::kQpBound, 0, 1));
+  EXPECT_THROW(checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                                            PeerPhase::kConnected,
+                                            PeerRole::kClient)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsUnobservedMutation) {
+  // The event claims the conduit was in kRequesting but the observer never
+  // saw it leave kIdle: some code path mutated the phase directly.
+  InvariantChecker checker;
+  EXPECT_THROW(checker.on_event(phase_event(0, 1, PeerPhase::kRequesting,
+                                            PeerPhase::kEstablishing)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsConnectedWithoutQp) {
+  InvariantChecker checker;
+  checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                               PeerPhase::kEstablishing,
+                               PeerRole::kServer));
+  EXPECT_THROW(checker.on_event(phase_event(0, 1, PeerPhase::kEstablishing,
+                                            PeerPhase::kConnected,
+                                            PeerRole::kServer)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsConnectedBeforePayloadWhenExpected) {
+  InvariantChecker::Options options;
+  options.payloads_expected = true;
+  InvariantChecker checker(options);
+  checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                               PeerPhase::kEstablishing,
+                               PeerRole::kServer));
+  checker.on_event(simple(ProtocolEvent::Kind::kQpBound, 0, 1));
+  EXPECT_THROW(checker.on_event(phase_event(0, 1, PeerPhase::kEstablishing,
+                                            PeerPhase::kConnected,
+                                            PeerRole::kServer)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, AcceptsConnectedAfterPayload) {
+  InvariantChecker::Options options;
+  options.payloads_expected = true;
+  InvariantChecker checker(options);
+  checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                               PeerPhase::kEstablishing,
+                               PeerRole::kServer));
+  checker.on_event(simple(ProtocolEvent::Kind::kQpBound, 0, 1));
+  checker.on_event(simple(ProtocolEvent::Kind::kPayloadInstalled, 0, 1));
+  checker.on_event(phase_event(0, 1, PeerPhase::kEstablishing,
+                               PeerPhase::kConnected, PeerRole::kServer));
+}
+
+TEST(InvariantChecker, RejectsRetransmitOverBudget) {
+  InvariantChecker::Options options;
+  options.max_retries = 4;
+  InvariantChecker checker(options);
+  checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                               PeerPhase::kRequesting));
+  ProtocolEvent retransmit = simple(ProtocolEvent::Kind::kRetransmit, 0, 1);
+  retransmit.attempt = 4;
+  checker.on_event(retransmit);
+  retransmit.attempt = 5;
+  EXPECT_THROW(checker.on_event(retransmit), InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsCollisionWonByHigherRank) {
+  InvariantChecker checker;
+  checker.on_event(phase_event(3, 5, PeerPhase::kIdle,
+                               PeerPhase::kRequesting));
+  // Rank 3 absorbing a collision with rank 5 means the higher rank's
+  // request won: the deterministic tie-break is broken.
+  EXPECT_THROW(checker.on_event(simple(ProtocolEvent::Kind::kCollision, 3, 5)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsDoubleQpBind) {
+  InvariantChecker checker;
+  checker.on_event(simple(ProtocolEvent::Kind::kQpBound, 0, 1));
+  EXPECT_THROW(checker.on_event(simple(ProtocolEvent::Kind::kQpBound, 0, 1)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsRmaTowardUnconnectedPeer) {
+  InvariantChecker checker;
+  EXPECT_THROW(
+      checker.on_event(simple(ProtocolEvent::Kind::kRdmaIssued, 0, 1)),
+      InvariantViolation);
+}
+
+TEST(InvariantChecker, ViolationReportCarriesHistory) {
+  InvariantChecker checker;
+  checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                               PeerPhase::kRequesting));
+  try {
+    checker.on_event(simple(ProtocolEvent::Kind::kRdmaIssued, 0, 1));
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& violation) {
+    std::string what = violation.what();
+    EXPECT_NE(what.find("recent events"), std::string::npos) << what;
+    EXPECT_NE(what.find("Idle->Requesting"), std::string::npos) << what;
+  }
+}
+
+TEST(InvariantChecker, CleanJobPassesEndToEnd) {
+  // Observe a real 4-rank on-demand job: no violations, and the final
+  // audit (including the QP-leak check) passes.
+  sim::Engine engine;
+  core::JobConfig config;
+  config.ranks = 4;
+  config.ranks_per_node = 2;
+  config.conduit = core::proposed_design();
+  core::ConduitJob job(engine, config);
+  InvariantChecker checker;
+  job.set_observer(&checker);
+
+  job.spawn_all([](core::Conduit& c) -> sim::Task<> {
+    c.register_handler(20, [](fabric::RankId,
+                              std::vector<std::byte>) -> sim::Task<> {
+      co_return;
+    });
+    co_await c.init();
+    for (fabric::RankId peer = 0; peer < 4; ++peer) {
+      co_await c.am_send(peer, 20, std::vector<std::byte>(8));
+    }
+    co_await c.barrier_global();
+  });
+  engine.run();
+  checker.check_final(job, /*after_teardown=*/true);
+  EXPECT_GT(checker.events_seen(), 0u);
+}
+
+TEST(InvariantChecker, StaticJobPassesEndToEnd) {
+  sim::Engine engine;
+  core::JobConfig config;
+  config.ranks = 4;
+  config.ranks_per_node = 2;
+  config.conduit = core::current_design();
+  core::ConduitJob job(engine, config);
+  InvariantChecker checker;
+  job.set_observer(&checker);
+
+  job.spawn_all([](core::Conduit& c) -> sim::Task<> {
+    c.register_handler(20, [](fabric::RankId,
+                              std::vector<std::byte>) -> sim::Task<> {
+      co_return;
+    });
+    co_await c.init();
+    co_await c.am_send((c.rank() + 1) % 4, 20, std::vector<std::byte>(8));
+    co_await c.barrier_global();
+  });
+  engine.run();
+  checker.check_final(job, /*after_teardown=*/true);
+  EXPECT_GT(checker.events_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace odcm::check

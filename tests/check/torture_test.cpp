@@ -1,0 +1,147 @@
+// The torture suite (ctest label: torture): multi-seed sweeps of the
+// on-demand handshake under scripted fault plans, across connection modes,
+// with the invariant checker attached to every run. On failure each case
+// prints the exact `check_sweep` replay command.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/torture.hpp"
+#include "sim/engine.hpp"
+
+namespace odcm::check {
+namespace {
+
+/// Sweep `seeds_per_recipe` seeds over every recipe in [0, recipes) for
+/// one mode; returns the number of cases run, failing the test (with
+/// replay instructions) on the first violation.
+std::uint32_t sweep(TortureMode mode, std::uint32_t recipes,
+                    std::uint32_t seeds_per_recipe,
+                    std::uint64_t seed_base) {
+  std::uint32_t cases = 0;
+  for (std::uint32_t recipe = 0; recipe < recipes; ++recipe) {
+    for (std::uint32_t i = 0; i < seeds_per_recipe; ++i) {
+      TortureCase c;
+      c.seed = seed_base + i;
+      c.recipe = recipe;
+      c.mode = mode;
+      TortureResult result = run_case(c);
+      EXPECT_TRUE(result.ok)
+          << "mode=" << to_string(mode)
+          << " recipe=" << FaultPlan::recipe_name(recipe) << "\n"
+          << result.failure;
+      if (!result.ok) return cases;
+      ++cases;
+    }
+  }
+  return cases;
+}
+
+TEST(Torture, OnDemandSweep) {
+  EXPECT_EQ(sweep(TortureMode::kOnDemand, FaultPlan::kRecipeCount,
+                  /*seeds_per_recipe=*/60, /*seed_base=*/1000),
+            8u * 60u);
+}
+
+TEST(Torture, EvictionCappedSweep) {
+  EXPECT_EQ(sweep(TortureMode::kEvictionCapped, FaultPlan::kRecipeCount,
+                  /*seeds_per_recipe=*/50, /*seed_base=*/2000),
+            8u * 50u);
+}
+
+TEST(Torture, StaticSweep) {
+  // Static mode does not use the UD control channel, but the invariant
+  // checker and data-integrity audit still apply; a few recipes suffice.
+  EXPECT_EQ(sweep(TortureMode::kStatic, /*recipes=*/4,
+                  /*seeds_per_recipe=*/40, /*seed_base=*/3000),
+            4u * 40u);
+}
+
+TEST(Torture, ReplayCommandRoundTrips) {
+  TortureCase c;
+  c.seed = 424242;
+  c.recipe = 6;
+  c.mode = TortureMode::kEvictionCapped;
+  std::string command = replay_command(c);
+  EXPECT_NE(command.find("--seed 424242"), std::string::npos) << command;
+  EXPECT_NE(command.find("--recipe 6"), std::string::npos) << command;
+  EXPECT_NE(command.find("--mode 2"), std::string::npos) << command;
+}
+
+TEST(Torture, CaseIsDeterministic) {
+  TortureCase c;
+  c.seed = 77;
+  c.recipe = 4;  // chaos_mix
+  TortureResult first = run_case(c);
+  TortureResult second = run_case(c);
+  EXPECT_TRUE(first.ok) << first.failure;
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.events_seen, second.events_seen);
+  EXPECT_EQ(first.ud_datagrams, second.ud_datagrams);
+  EXPECT_EQ(first.fault_decisions, second.fault_decisions);
+  EXPECT_EQ(first.plan, second.plan);
+}
+
+TEST(Torture, InjectedDuplicateSuppressionBugIsCaughtQuickly) {
+  // Acceptance criterion: a deliberately broken protocol (the server
+  // treats duplicate requests for an established connection as fresh ones)
+  // must be caught by the checker within 100 seeds. The reply-drop recipe
+  // forces the exact trigger: the server's ConnectReply is lost, so the
+  // client's RTO retransmit arrives while the server is already Connected
+  // and the buggy branch re-serves it (an illegal phase transition).
+  std::uint32_t caught_at = 0;
+  for (std::uint32_t i = 1; i <= 100; ++i) {
+    TortureCase c;
+    c.seed = i;
+    c.recipe = 6;  // reply_drop
+    c.inject_duplicate_suppression_bug = true;
+    TortureResult result = run_case(c);
+    if (!result.ok) {
+      caught_at = i;
+      EXPECT_NE(result.failure.find("illegal transition"), std::string::npos)
+          << result.failure;
+      break;
+    }
+  }
+  EXPECT_GT(caught_at, 0u)
+      << "checker failed to catch the injected bug within 100 seeds";
+  EXPECT_LE(caught_at, 100u);
+}
+
+TEST(Torture, KilledUdEndpointFailsLoudlyNotSilently) {
+  // Killing the server's UD QP mid-handshake must surface as a loud,
+  // deterministic error (retry budget exhausted or engine deadlock
+  // detection), never as a hang or silent data loss.
+  sim::Engine engine;
+  core::JobConfig config;
+  config.ranks = 2;
+  config.ranks_per_node = 2;
+  config.conduit = core::proposed_design();
+  config.conduit.conn_max_retries = 8;  // keep the failing run short
+  core::ConduitJob job(engine, config);
+
+  FaultPlan plan(1);
+  FaultRule kill;
+  kill.klass = PacketClass::kConnectRequest;
+  kill.dst = 1;
+  kill.count = 1;
+  kill.kill_dst_qp = true;
+  plan.add_rule(kill);
+  plan.install(job.fabric());
+
+  job.spawn_all([](core::Conduit& c) -> sim::Task<> {
+    c.register_handler(20, [](fabric::RankId,
+                              std::vector<std::byte>) -> sim::Task<> {
+      co_return;
+    });
+    co_await c.init();
+    if (c.rank() == 0) {
+      co_await c.am_send(1, 20, std::vector<std::byte>(4));
+    }
+    co_await c.barrier_intranode();
+  });
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odcm::check

@@ -139,6 +139,51 @@ TEST(Eviction, SymmetricEvictionResolves) {
   EXPECT_EQ(received[2], 2);
 }
 
+TEST(Eviction, DrainingPeerReestablishesUnderUdLoss) {
+  // Regression: a peer stuck in the Draining phase re-establishes through
+  // ensure_connected even when the UD control channel is lossy. The
+  // evicted side's re-request doubles as the drain ack; if it is dropped,
+  // the client retransmits until it lands — the run must complete, never
+  // hang. Several seeds vary which datagrams are lost.
+  for (std::uint64_t seed : {11ull, 23ull, 47ull, 91ull, 130ull}) {
+    JobConfig config = small_job(3, 1, capped(1));
+    config.fabric.ud_drop_rate = 0.5;
+    config.fabric.seed = seed;
+    JobEnv env(config);
+    std::vector<int> received(3, 0);
+    env.run([&received](Conduit& c) -> sim::Task<> {
+      register_sink(c, received);
+      co_await c.init();
+      co_await c.barrier_intranode();
+      // Mutual churn with cap 1: each rank's second send evicts its first
+      // connection, and re-contacting the evicted peer must traverse the
+      // Draining → (re)Establishing path while requests are being lost.
+      for (int round = 0; round < 2; ++round) {
+        co_await c.am_send((c.rank() + 1) % 3, 20,
+                           std::vector<std::byte>(4));
+        co_await c.am_send((c.rank() + 2) % 3, 20,
+                           std::vector<std::byte>(4));
+      }
+      co_await c.barrier_global();
+    });
+    for (RankId r = 0; r < 3; ++r) {
+      EXPECT_EQ(received[r], 4) << "seed " << seed << " rank " << r;
+      // The retry budget must never be exceeded on the way back up.
+      Conduit& c = env.job.conduit(r);
+      EXPECT_LE(c.stats().counter("conn_retransmits"),
+                c.stats().counter("conn_requests_initiated") *
+                    static_cast<std::int64_t>(c.config().conn_max_retries))
+          << "seed " << seed;
+    }
+    std::int64_t evictions = 0;
+    for (RankId r = 0; r < 3; ++r) {
+      evictions += env.job.conduit(r).stats().counter("conn_evictions");
+    }
+    EXPECT_GT(evictions, 0) << "seed " << seed
+                            << ": workload did not exercise eviction";
+  }
+}
+
 TEST(Eviction, UnlimitedByDefaultNeverEvicts) {
   JobEnv env(small_job(6, 3));  // default config: cap 0
   std::vector<int> received(6, 0);

@@ -133,6 +133,41 @@ TEST(Protocol, ManyWayCollisionsAllResolve) {
   }
 }
 
+TEST(Protocol, CollisionUnderHeavyLossLeavesOneConnection) {
+  // Simultaneous connect from both sides while half of all UD datagrams
+  // are lost: requests and replies from either side can vanish in any
+  // combination, yet exactly one RC connection per side must survive,
+  // the retry budget must hold, and no QP may leak past finalize.
+  for (std::uint64_t seed : {5ull, 17ull, 101ull, 4242ull}) {
+    JobConfig config = small_job(2, 1);
+    config.fabric.ud_drop_rate = 0.5;
+    config.fabric.seed = seed;
+    JobEnv env(config);
+    int received = 0;
+    env.run([&received](Conduit& c) -> sim::Task<> {
+      register_sink(c, received);
+      co_await c.init();
+      co_await c.barrier_intranode();  // does not connect inter-node peers
+      co_await c.am_send(1 - c.rank(), 20, std::vector<std::byte>(8));
+      co_await c.barrier_global();
+    });
+    EXPECT_EQ(received, 2) << "seed " << seed;
+    for (RankId r = 0; r < 2; ++r) {
+      Conduit& c = env.job.conduit(r);
+      EXPECT_EQ(c.connected_peer_count(), 1u) << "seed " << seed;
+      EXPECT_EQ(c.stats().counter("connections_established"), 1)
+          << "seed " << seed;
+      EXPECT_LE(c.stats().counter("conn_retransmits"),
+                static_cast<std::int64_t>(c.config().conn_max_retries))
+          << "seed " << seed;
+    }
+    // Finalize destroyed every QP — colliding attempts did not leak any.
+    for (fabric::NodeId n = 0; n < env.job.fabric().node_count(); ++n) {
+      EXPECT_EQ(env.job.fabric().hca(n).qps_active(), 0u) << "seed " << seed;
+    }
+  }
+}
+
 TEST(Protocol, ServerNotReadyHoldsReply) {
   // Rank 1 declares readiness only after a long delay; rank 0's connection
   // request must be held (and retransmitted) until then, after which the

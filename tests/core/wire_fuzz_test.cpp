@@ -1,0 +1,220 @@
+// Fuzz and negative tests for the wire layer. A UD datagram can arrive
+// corrupted, truncated, or adversarially crafted; every decoder must either
+// return a fully valid packet or throw — it must never read out of bounds,
+// silently accept trailing garbage, or trust an attacker-chosen length
+// field. The fuzz loops use the deterministic sim::Rng so any failure is
+// replayable from the printed seed.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "sim/random.hpp"
+
+namespace odcm::core {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+ConnectPacket sample_packet() {
+  ConnectPacket packet;
+  packet.type = UdMsgType::kConnectRequest;
+  packet.src_rank = 42;
+  packet.rc_addr = {300, 77777};
+  packet.payload = bytes_of({9, 8, 7, 6, 5});
+  return packet;
+}
+
+// ---- wire::Reader primitives ----
+
+TEST(WireReader, ReadPastEndThrows) {
+  auto data = bytes_of({1, 2, 3});
+  wire::Reader reader(data);
+  EXPECT_EQ(reader.read_int<std::uint16_t>(), 0x0201u);
+  EXPECT_THROW(reader.read_int<std::uint32_t>(), std::runtime_error);
+}
+
+TEST(WireReader, ReadBytesHugeCountThrows) {
+  auto data = bytes_of({1, 2, 3, 4});
+  wire::Reader reader(data);
+  EXPECT_THROW(reader.read_bytes(5), std::runtime_error);
+  // A count that would overflow pos_ + n must not wrap around the check.
+  wire::Reader reader2(data);
+  (void)reader2.read_int<std::uint8_t>();
+  EXPECT_THROW(reader2.read_bytes(~std::size_t{0}), std::runtime_error);
+}
+
+TEST(WireReader, ExpectEndRejectsTrailingBytes) {
+  auto data = bytes_of({1, 2, 3});
+  wire::Reader reader(data);
+  (void)reader.read_int<std::uint16_t>();
+  EXPECT_THROW(reader.expect_end(), std::runtime_error);
+  (void)reader.read_int<std::uint8_t>();
+  EXPECT_NO_THROW(reader.expect_end());
+}
+
+TEST(WireReader, EmptyBufferBehaves) {
+  std::vector<std::byte> empty;
+  wire::Reader reader(empty);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_NO_THROW(reader.expect_end());
+  EXPECT_TRUE(reader.read_rest().empty());
+  EXPECT_THROW(reader.read_int<std::uint8_t>(), std::runtime_error);
+}
+
+// ---- ConnectPacket decoder ----
+
+TEST(ConnectPacketFuzz, EveryTruncationThrows) {
+  std::vector<std::byte> encoded = sample_packet().encode();
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    std::span<const std::byte> prefix(encoded.data(), len);
+    EXPECT_THROW(ConnectPacket::decode(prefix), std::runtime_error)
+        << "prefix of length " << len << " decoded without error";
+  }
+  EXPECT_NO_THROW(ConnectPacket::decode(encoded));
+}
+
+TEST(ConnectPacketFuzz, TrailingGarbageThrows) {
+  std::vector<std::byte> encoded = sample_packet().encode();
+  encoded.push_back(std::byte{0xAB});
+  EXPECT_THROW(ConnectPacket::decode(encoded), std::runtime_error);
+}
+
+TEST(ConnectPacketFuzz, UnknownTypeByteThrows) {
+  std::vector<std::byte> encoded = sample_packet().encode();
+  for (int bad : {0, 3, 4, 127, 255}) {
+    encoded[0] = static_cast<std::byte>(bad);
+    EXPECT_THROW(ConnectPacket::decode(encoded), std::runtime_error)
+        << "type byte " << bad << " accepted";
+  }
+}
+
+TEST(ConnectPacketFuzz, OversizedLengthFieldThrows) {
+  // The payload length field claims more bytes than the datagram holds;
+  // the decoder must throw instead of reading past the buffer (or
+  // allocating an attacker-chosen amount).
+  std::vector<std::byte> encoded = sample_packet().encode();
+  const std::size_t len_offset = 1 + 4 + 2 + 4;
+  for (std::uint32_t claimed : {6u, 100u, 0x7fffffffu, 0xffffffffu}) {
+    std::memcpy(encoded.data() + len_offset, &claimed, 4);
+    EXPECT_THROW(ConnectPacket::decode(encoded), std::runtime_error)
+        << "claimed payload length " << claimed << " accepted";
+  }
+}
+
+TEST(ConnectPacketFuzz, UndersizedLengthFieldThrows) {
+  // A length field smaller than the actual payload leaves trailing bytes,
+  // which expect_end() must reject.
+  std::vector<std::byte> encoded = sample_packet().encode();
+  const std::size_t len_offset = 1 + 4 + 2 + 4;
+  std::uint32_t claimed = 2;  // real payload is 5 bytes
+  std::memcpy(encoded.data() + len_offset, &claimed, 4);
+  EXPECT_THROW(ConnectPacket::decode(encoded), std::runtime_error);
+}
+
+TEST(ConnectPacketFuzz, RandomBytesNeverReadOutOfBounds) {
+  // Feed random buffers of random sizes. Decode may succeed (if the bytes
+  // happen to form a valid packet) or throw std::runtime_error; anything
+  // else — in particular a crash under ASan — is a bug.
+  sim::Rng rng(0xF022u);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::size_t size = rng.next_below(64);
+    std::vector<std::byte> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+    try {
+      ConnectPacket packet = ConnectPacket::decode(data);
+      // If it decoded, it must re-encode to exactly the input.
+      EXPECT_EQ(packet.encode(), data) << "iter " << iter;
+    } catch (const std::runtime_error&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST(ConnectPacketFuzz, RandomValidPacketsRoundTrip) {
+  sim::Rng rng(0xF023u);
+  for (int iter = 0; iter < 500; ++iter) {
+    ConnectPacket packet;
+    packet.type = rng.chance(0.5) ? UdMsgType::kConnectRequest
+                                  : UdMsgType::kConnectReply;
+    packet.src_rank = static_cast<fabric::RankId>(rng.next_u64());
+    packet.rc_addr.lid = static_cast<fabric::Lid>(rng.next_u64());
+    packet.rc_addr.qpn = static_cast<fabric::Qpn>(rng.next_u64());
+    packet.payload.resize(rng.next_below(48));
+    for (auto& b : packet.payload) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+    ConnectPacket decoded = ConnectPacket::decode(packet.encode());
+    EXPECT_EQ(decoded.type, packet.type);
+    EXPECT_EQ(decoded.src_rank, packet.src_rank);
+    EXPECT_EQ(decoded.rc_addr, packet.rc_addr);
+    EXPECT_EQ(decoded.payload, packet.payload);
+  }
+}
+
+// ---- AmPacket decoder ----
+
+TEST(AmPacketFuzz, HeaderTruncationThrows) {
+  AmPacket packet;
+  packet.handler = 7;
+  packet.src_rank = 3;
+  packet.payload = bytes_of({1, 2, 3});
+  std::vector<std::byte> encoded = packet.encode();
+  for (std::size_t len = 0; len < 6; ++len) {  // header is 2 + 4 bytes
+    std::span<const std::byte> prefix(encoded.data(), len);
+    EXPECT_THROW(AmPacket::decode(prefix), std::runtime_error)
+        << "prefix of length " << len << " decoded without error";
+  }
+  AmPacket decoded = AmPacket::decode(encoded);
+  EXPECT_EQ(decoded.handler, 7u);
+  EXPECT_EQ(decoded.payload, packet.payload);
+}
+
+TEST(AmPacketFuzz, RandomBuffersRoundTripOrThrow) {
+  sim::Rng rng(0xA3u);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::size_t size = rng.next_below(32);
+    std::vector<std::byte> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+    try {
+      AmPacket packet = AmPacket::decode(data);
+      EXPECT_EQ(packet.encode(), data) << "iter " << iter;
+    } catch (const std::runtime_error&) {
+      EXPECT_LT(size, 6u) << "iter " << iter
+                          << ": complete header rejected";
+    }
+  }
+}
+
+// ---- PMI endpoint encoding ----
+
+TEST(EndpointCodec, BadLengthsThrow) {
+  for (std::size_t len : {0u, 1u, 5u, 7u, 64u}) {
+    std::string data(len, '\x5a');
+    EXPECT_THROW(decode_endpoint(data), std::runtime_error)
+        << "length " << len << " accepted";
+  }
+}
+
+TEST(EndpointCodec, RoundTrips) {
+  sim::Rng rng(0xE9u);
+  for (int iter = 0; iter < 200; ++iter) {
+    fabric::EndpointAddr addr;
+    addr.lid = static_cast<fabric::Lid>(rng.next_u64());
+    addr.qpn = static_cast<fabric::Qpn>(rng.next_u64());
+    EXPECT_EQ(decode_endpoint(encode_endpoint(addr)), addr);
+  }
+}
+
+}  // namespace
+}  // namespace odcm::core
