@@ -8,16 +8,22 @@
 //
 //   check_sweep --seeds 100                       # sweep all modes
 //   check_sweep --seed 1042 --recipe 2 --mode 0   # replay one case
+//   check_sweep --seeds 10 --json sweep.json      # machine-readable tally
+//
+// `--json FILE` additionally writes every case result (with its replay
+// command) as an "odcm-check-sweep" v1 JSON document.
 //
 // Exits non-zero if any case fails.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "check/torture.hpp"
+#include "telemetry/json.hpp"
 
 namespace {
 
@@ -36,6 +42,7 @@ struct CliOptions {
   std::uint32_t rounds = 4;
   bool inject_dup_bug = false;
   bool verbose = false;
+  std::string json_path{};
 };
 
 void usage() {
@@ -52,11 +59,13 @@ void usage() {
          "  --ranks R --ppn P  job shape (default 6 PEs, 3 per node)\n"
          "  --rounds N         traffic rounds per PE (default 4)\n"
          "  --inject-dup-bug   enable the deliberate protocol bug\n"
-         "  --verbose          print every case\n";
+         "  --verbose          print every case\n"
+         "  --json FILE        write per-case results as JSON\n";
 }
 
 bool run_one(const TortureCase& c, const CliOptions& options,
-             std::uint64_t& failures) {
+             std::uint64_t& failures,
+             odcm::telemetry::JsonValue* json_results) {
   TortureResult result = odcm::check::run_case(c);
   if (options.verbose || !result.ok) {
     std::cout << (result.ok ? "ok   " : "FAIL ") << to_string(c.mode)
@@ -67,6 +76,19 @@ bool run_one(const TortureCase& c, const CliOptions& options,
   if (!result.ok) {
     std::cout << "  " << result.failure << "\n";
     ++failures;
+  }
+  if (json_results != nullptr) {
+    odcm::telemetry::JsonValue row = odcm::telemetry::JsonValue::object();
+    row.set("mode", std::string(to_string(c.mode)));
+    row.set("recipe", static_cast<std::int64_t>(c.recipe));
+    row.set("recipe_name", std::string(FaultPlan::recipe_name(c.recipe)));
+    row.set("seed", static_cast<std::int64_t>(c.seed));
+    row.set("ok", result.ok);
+    row.set("events", static_cast<std::int64_t>(result.events_seen));
+    row.set("ud_datagrams", static_cast<std::int64_t>(result.ud_datagrams));
+    if (!result.ok) row.set("failure", result.failure);
+    row.set("replay", odcm::check::replay_command(c));
+    json_results->push(std::move(row));
   }
   return result.ok;
 }
@@ -106,6 +128,8 @@ int main(int argc, char** argv) {
       options.inject_dup_bug = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--json") {
+      options.json_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -148,6 +172,9 @@ int main(int argc, char** argv) {
                                    TortureMode::kEvictionCapped};
   std::uint64_t failures = 0;
   std::uint64_t cases = 0;
+  odcm::telemetry::JsonValue results = odcm::telemetry::JsonValue::array();
+  odcm::telemetry::JsonValue* json_results =
+      options.json_path.empty() ? nullptr : &results;
 
   if (options.seed) {
     // Replay mode: one seed, selected (or all) recipes and modes.
@@ -156,7 +183,8 @@ int main(int argc, char** argv) {
       for (std::uint32_t recipe = 0; recipe < FaultPlan::kRecipeCount;
            ++recipe) {
         if (options.recipe && recipe != *options.recipe) continue;
-        run_one(make_case(*options.seed, recipe, mode), options, failures);
+        run_one(make_case(*options.seed, recipe, mode), options, failures,
+                json_results);
         ++cases;
       }
     }
@@ -167,7 +195,8 @@ int main(int argc, char** argv) {
            ++recipe) {
         if (options.recipe && recipe != *options.recipe) continue;
         for (std::uint64_t i = 0; i < options.seeds; ++i) {
-          run_one(make_case(1000 + i, recipe, mode), options, failures);
+          run_one(make_case(1000 + i, recipe, mode), options, failures,
+                  json_results);
           ++cases;
         }
       }
@@ -176,5 +205,23 @@ int main(int argc, char** argv) {
 
   std::cout << "check_sweep: " << cases << " cases, " << failures
             << " failures\n";
+
+  if (json_results != nullptr) {
+    odcm::telemetry::JsonValue doc = odcm::telemetry::JsonValue::object();
+    doc.set("schema", "odcm-check-sweep");
+    doc.set("schema_version", std::int64_t{1});
+    doc.set("cases", static_cast<std::int64_t>(cases));
+    doc.set("failures", static_cast<std::int64_t>(failures));
+    doc.set("results", std::move(results));
+    std::ofstream out(options.json_path);
+    doc.write(out, 2);
+    out << "\n";
+    if (!out) {
+      std::cerr << "check_sweep: failed to write " << options.json_path
+                << "\n";
+      return 2;
+    }
+    std::cout << "check_sweep: wrote " << options.json_path << "\n";
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,819 @@
+// run_all: single driver for every figure/table/ablation bench, emitting
+// machine-readable results.
+//
+// Each registered bench runs behind a common interface and writes one
+// `BENCH_<name>.json` ("odcm-bench" schema v1, see
+// src/telemetry/bench_report.hpp) into --out. Two parameter sets per bench:
+//
+//   --quick   CI-sized (PE counts <= 256, trimmed sweeps; seconds per bench)
+//   --full    paper-scale (the same shapes the standalone fig*/table* /
+//             ablation* binaries print)
+//
+// The simulation is deterministic: the same mode + seed produce
+// byte-identical JSON, which CI relies on (ctest label `perf-smoke`).
+//
+//   run_all --quick                        # all benches, CI parameters
+//   run_all --quick --bench fig6_pt2pt     # one bench
+//   run_all --full --out results/          # paper-scale sweep
+//   run_all --list                         # registry
+//
+// The `hello_trace` bench additionally writes `TRACE_hello16.json`, a Chrome
+// Trace Event file of the on-demand handshakes in a 16-PE hello-world
+// (load it at ui.perfetto.dev or chrome://tracing).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/ep.hpp"
+#include "apps/graph500.hpp"
+#include "apps/grid_kernel.hpp"
+#include "apps/heat2d.hpp"
+#include "apps/hello.hpp"
+#include "apps/mg.hpp"
+#include "bench_util.hpp"
+#include "mpi/mpi.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace odcm;
+using namespace odcm::bench;
+
+namespace {
+
+struct BenchContext {
+  bool quick = true;
+  std::uint64_t seed = 1;
+  std::string out_dir = ".";
+};
+
+using BenchFn =
+    std::function<void(const BenchContext&, telemetry::BenchReport&)>;
+
+struct BenchDef {
+  const char* name;
+  const char* description;
+  BenchFn fn;
+};
+
+using Kernel =
+    std::function<sim::Task<>(shmem::ShmemPe&, apps::KernelResult&)>;
+
+// ---------------------------------------------------------------------------
+// Shared measurement plumbing (mirrors the standalone fig* binaries).
+
+shmem::ShmemJobConfig seeded_job(const BenchContext& ctx, std::uint32_t pes,
+                                 std::uint32_t ppn,
+                                 core::ConduitConfig conduit,
+                                 std::uint64_t heap_bytes = 0) {
+  shmem::ShmemJobConfig config =
+      heap_bytes == 0 ? paper_job(pes, ppn, conduit)
+                      : paper_job_heap(pes, ppn, conduit, heap_bytes);
+  config.job.fabric.seed = ctx.seed;
+  return config;
+}
+
+struct HelloSample {
+  double start_pes_s;
+  double wall_s;
+};
+
+HelloSample hello_sample(const BenchContext& ctx, std::uint32_t pes,
+                         core::ConduitConfig conduit) {
+  std::unique_ptr<shmem::ShmemJob> job;
+  double wall = run_job(seeded_job(ctx, pes, 16, conduit),
+                        [](shmem::ShmemPe& pe) -> sim::Task<> {
+                          co_await apps::hello_pe(pe, apps::HelloParams{});
+                        },
+                        &job);
+  return {mean_phase_s(*job, "start_pes_total"), wall};
+}
+
+/// Mean one-way latency (us) of `op` on PE 0 of a 2-PE / 2-node job.
+template <typename MakeOp>
+double pt2pt_loop(const BenchContext& ctx, core::ConduitConfig conduit,
+                  std::uint32_t iters, MakeOp make_op) {
+  shmem::ShmemJobConfig config;
+  config.job.ranks = 2;
+  config.job.ranks_per_node = 1;  // two nodes, IB path
+  config.job.conduit = conduit;
+  config.job.fabric.seed = ctx.seed;
+  config.shmem.heap_bytes = 4 << 20;
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, config);
+  double latency_us = 0;
+  job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    shmem::SymAddr buf = pe.heap().allocate(1 << 20, 8);
+    co_await pe.barrier_all();
+    if (pe.rank() == 0) {
+      for (std::uint32_t i = 0; i < 10; ++i) co_await make_op(pe, buf);
+      sim::Time t0 = pe.engine().now();
+      for (std::uint32_t i = 0; i < iters; ++i) co_await make_op(pe, buf);
+      latency_us = sim::to_usec(pe.engine().now() - t0) / iters;
+    }
+    co_await pe.barrier_all();
+    co_await pe.finalize();
+  });
+  engine.run();
+  return latency_us;
+}
+
+/// Mean us/round of `iters` rounds of a collective on `pes` PEs.
+template <typename Body>
+double collective_loop(const BenchContext& ctx, std::uint32_t pes,
+                       core::ConduitConfig conduit, std::uint32_t iters,
+                       std::uint64_t heap_bytes, Body body) {
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, seeded_job(ctx, pes, 8, conduit, heap_bytes));
+  double latency_us = 0;
+  job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await body(pe);  // warmup round
+    co_await pe.barrier_all();
+    sim::Time t0 = pe.engine().now();
+    for (std::uint32_t i = 0; i < iters; ++i) co_await body(pe);
+    if (pe.rank() == 0) {
+      latency_us = sim::to_usec(pe.engine().now() - t0) / iters;
+    }
+    co_await pe.finalize();
+  });
+  engine.run();
+  return latency_us;
+}
+
+/// Run `kernel` on every PE of a proposed-design job; returns the wall
+/// seconds and leaves the job in `out` for stat queries.
+double kernel_job(const BenchContext& ctx, std::uint32_t pes,
+                  core::ConduitConfig conduit, const Kernel& kernel,
+                  std::unique_ptr<sim::Engine>* out_engine,
+                  std::unique_ptr<shmem::ShmemJob>* out_job,
+                  bool* verified = nullptr) {
+  auto engine = std::make_unique<sim::Engine>();
+  auto job = std::make_unique<shmem::ShmemJob>(
+      *engine, seeded_job(ctx, pes, 8, conduit, 2ULL << 20));
+  std::vector<apps::KernelResult> results(pes);
+  sim::Time wall = job->run([&](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await pe.start_pes();
+    co_await kernel(pe, results[pe.rank()]);
+    co_await pe.finalize();
+  });
+  if (verified != nullptr) {
+    *verified = true;
+    for (const auto& r : results) *verified = *verified && r.verified;
+  }
+  *out_engine = std::move(engine);
+  *out_job = std::move(job);
+  return sim::to_seconds(wall);
+}
+
+/// The reduced-size NAS/Heat kernel zoo the resource benches share.
+/// `scale` trims iteration counts for quick mode.
+std::vector<std::pair<std::string, Kernel>> kernel_zoo(bool quick,
+                                                       bool all_apps) {
+  apps::Heat2dParams heat;
+  heat.global_n = quick ? 96 : 192;
+  heat.iters = quick ? 8 : 12;
+  heat.verify = false;
+  apps::EpParams ep;
+  ep.log2_pairs = quick ? 12 : 14;
+  ep.verify = false;
+  apps::MgParams mg;
+  mg.vcycles = quick ? 2 : 4;
+  mg.finest_face_elems = quick ? 32 : 64;
+  mg.verify_halos = false;
+  apps::GridKernelParams bt = apps::bt_params();
+  bt.iters = quick ? 4 : 8;
+  bt.face_elems = quick ? 32 : 64;
+  bt.verify_halos = false;
+  apps::GridKernelParams sp = apps::sp_params();
+  sp.iters = quick ? 4 : 8;
+  sp.face_elems = quick ? 16 : 32;
+  sp.verify_halos = false;
+
+  std::vector<std::pair<std::string, Kernel>> zoo;
+  zoo.emplace_back(
+      "2DHeat",
+      [heat](shmem::ShmemPe& pe, apps::KernelResult& out) -> sim::Task<> {
+        co_await apps::heat2d_pe(pe, heat, out);
+      });
+  zoo.emplace_back(
+      "EP", [ep](shmem::ShmemPe& pe, apps::KernelResult& out) -> sim::Task<> {
+        co_await apps::ep_pe(pe, ep, out);
+      });
+  zoo.emplace_back(
+      "MG", [mg](shmem::ShmemPe& pe, apps::KernelResult& out) -> sim::Task<> {
+        co_await apps::mg_pe(pe, mg, out);
+      });
+  if (all_apps) {
+    zoo.emplace_back(
+        "BT",
+        [bt](shmem::ShmemPe& pe, apps::KernelResult& out) -> sim::Task<> {
+          co_await apps::grid_kernel_pe(pe, bt, out);
+        });
+    zoo.emplace_back(
+        "SP",
+        [sp](shmem::ShmemPe& pe, apps::KernelResult& out) -> sim::Task<> {
+          co_await apps::grid_kernel_pe(pe, sp, out);
+        });
+  }
+  return zoo;
+}
+
+/// Least-squares linear fit through (x, y), evaluated at `at`.
+double project(const std::vector<double>& xs, const std::vector<double>& ys,
+               double at) {
+  double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return (sy - slope * sx) / n + slope * at;
+}
+
+void set_pes_config(telemetry::BenchReport& report,
+                    const std::vector<std::uint32_t>& pes_list) {
+  telemetry::JsonValue arr = telemetry::JsonValue::array();
+  for (std::uint32_t pes : pes_list) {
+    arr.push(telemetry::JsonValue(static_cast<std::int64_t>(pes)));
+  }
+  report.set_config("pes", std::move(arr));
+}
+
+// ---------------------------------------------------------------------------
+// The benches.
+
+void bench_fig1(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::vector<std::uint32_t> pes_list =
+      ctx.quick ? std::vector<std::uint32_t>{128, 256}
+                : std::vector<std::uint32_t>{512, 1024, 2048, 4096};
+  set_pes_config(report, pes_list);
+  report.set_config("ppn", std::int64_t{16});
+  report.set_config("design", "static");
+  for (std::uint32_t pes : pes_list) {
+    std::unique_ptr<shmem::ShmemJob> job;
+    (void)run_job(seeded_job(ctx, pes, 16, core::current_design()),
+                  [](shmem::ShmemPe& pe) -> sim::Task<> {
+                    co_await apps::hello_pe(pe, apps::HelloParams{});
+                  },
+                  &job);
+    report.add_row(
+        "breakdown", pes,
+        {{"conn_setup_s", mean_phase_s(*job, "connection_setup") +
+                              mean_phase_s(*job, "init_barrier") +
+                              mean_phase_s(*job, "segment_exchange")},
+         {"pmi_exchange_s", mean_phase_s(*job, "pmi_exchange") +
+                                mean_phase_s(*job, "pmi_wait")},
+         {"mem_reg_s", mean_phase_s(*job, "memory_registration")},
+         {"shmem_setup_s", mean_phase_s(*job, "shared_memory_setup")},
+         {"other_s", mean_phase_s(*job, "init_other")},
+         {"total_s", mean_phase_s(*job, "start_pes_total")}});
+  }
+}
+
+void bench_fig5(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::vector<std::uint32_t> pes_list =
+      ctx.quick
+          ? std::vector<std::uint32_t>{64, 128, 256}
+          : std::vector<std::uint32_t>{128, 256, 512, 1024, 2048, 4096, 8192};
+  set_pes_config(report, pes_list);
+  report.set_config("ppn", std::int64_t{16});
+  double start_ratio = 0;
+  double hello_ratio = 0;
+  for (std::uint32_t pes : pes_list) {
+    HelloSample current = hello_sample(ctx, pes, core::current_design());
+    HelloSample proposed = hello_sample(ctx, pes, core::proposed_design());
+    start_ratio = current.start_pes_s / proposed.start_pes_s;
+    hello_ratio = current.wall_s / proposed.wall_s;
+    report.add_row("startup", pes,
+                   {{"start_current_s", current.start_pes_s},
+                    {"start_proposed_s", proposed.start_pes_s},
+                    {"start_speedup", start_ratio},
+                    {"hello_current_s", current.wall_s},
+                    {"hello_proposed_s", proposed.wall_s},
+                    {"hello_speedup", hello_ratio}});
+  }
+  // Paper anchors: ~3x / ~8.3x at the top of the sweep.
+  report.set_metric("start_speedup_at_max_pes", start_ratio);
+  report.set_metric("hello_speedup_at_max_pes", hello_ratio);
+}
+
+void bench_fig6(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t size = 1; size <= (1u << 20); size *= 4) {
+    if (!ctx.quick || size == 1 || size == 64 || size == 4096 ||
+        size == 65536) {
+      sizes.push_back(size);
+    }
+  }
+  std::uint32_t iters = ctx.quick ? 200 : 1000;
+  report.set_config("pes", std::int64_t{2});
+  report.set_config("iters", static_cast<std::int64_t>(iters));
+
+  auto put_op = [](std::uint32_t size) {
+    return [size](shmem::ShmemPe& pe, shmem::SymAddr buf) -> sim::Task<> {
+      std::vector<std::byte> data(size, std::byte{7});
+      co_await pe.put(1, buf, data);
+    };
+  };
+  auto get_op = [](std::uint32_t size) {
+    return [size](shmem::ShmemPe& pe, shmem::SymAddr buf) -> sim::Task<> {
+      std::vector<std::byte> dest(size);
+      co_await pe.get(1, buf, dest);
+    };
+  };
+  for (std::uint32_t size : sizes) {
+    std::uint32_t n = size >= (256 << 10) ? iters / 10 : iters;
+    double stat = pt2pt_loop(ctx, core::current_design(), n, get_op(size));
+    double dyn = pt2pt_loop(ctx, core::proposed_design(), n, get_op(size));
+    report.add_row("get_latency", size,
+                   {{"static_us", stat},
+                    {"ondemand_us", dyn},
+                    {"diff_pct", 100.0 * (dyn - stat) / stat}});
+    stat = pt2pt_loop(ctx, core::current_design(), n, put_op(size));
+    dyn = pt2pt_loop(ctx, core::proposed_design(), n, put_op(size));
+    report.add_row("put_latency", size,
+                   {{"static_us", stat},
+                    {"ondemand_us", dyn},
+                    {"diff_pct", 100.0 * (dyn - stat) / stat}});
+  }
+
+  using AtomicOp = std::function<sim::Task<>(shmem::ShmemPe&, shmem::SymAddr)>;
+  std::vector<std::pair<const char*, AtomicOp>> ops;
+  ops.emplace_back("fadd",
+                   [](shmem::ShmemPe& pe, shmem::SymAddr a) -> sim::Task<> {
+                     (void)co_await pe.atomic_fetch_add(1, a, 1);
+                   });
+  ops.emplace_back("cswap",
+                   [](shmem::ShmemPe& pe, shmem::SymAddr a) -> sim::Task<> {
+                     (void)co_await pe.atomic_compare_swap(1, a, 0, 0);
+                   });
+  if (!ctx.quick) {
+    ops.emplace_back("finc",
+                     [](shmem::ShmemPe& pe, shmem::SymAddr a) -> sim::Task<> {
+                       (void)co_await pe.atomic_fetch_inc(1, a);
+                     });
+    ops.emplace_back("add",
+                     [](shmem::ShmemPe& pe, shmem::SymAddr a) -> sim::Task<> {
+                       co_await pe.atomic_add(1, a, 1);
+                     });
+    ops.emplace_back("inc",
+                     [](shmem::ShmemPe& pe, shmem::SymAddr a) -> sim::Task<> {
+                       co_await pe.atomic_inc(1, a);
+                     });
+    ops.emplace_back("swap",
+                     [](shmem::ShmemPe& pe, shmem::SymAddr a) -> sim::Task<> {
+                       (void)co_await pe.atomic_swap(1, a, 5);
+                     });
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& [name, op] = ops[i];
+    auto run = [&](core::ConduitConfig conduit) {
+      return pt2pt_loop(ctx, conduit, iters,
+                        [op](shmem::ShmemPe& pe,
+                             shmem::SymAddr buf) -> sim::Task<> {
+                          co_await op(pe, buf);
+                        });
+    };
+    double stat = run(core::current_design());
+    double dyn = run(core::proposed_design());
+    report.add_row("atomic_latency", static_cast<double>(i),
+                   {{"static_us", stat},
+                    {"ondemand_us", dyn},
+                    {"diff_pct", 100.0 * (dyn - stat) / stat}},
+                   name);
+  }
+}
+
+void bench_fig7(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::uint32_t pes = ctx.quick ? 64 : 512;
+  report.set_config("pes", static_cast<std::int64_t>(pes));
+  report.set_config("ppn", std::int64_t{8});
+
+  auto both = [&](auto&& measure) {
+    double stat = measure(core::current_design());
+    double dyn = measure(core::proposed_design());
+    return std::pair<double, double>{stat, dyn};
+  };
+
+  std::vector<std::uint32_t> blocks =
+      ctx.quick ? std::vector<std::uint32_t>{8, 512}
+                : std::vector<std::uint32_t>{8, 64, 512, 4096};
+  for (std::uint32_t block : blocks) {
+    auto [stat, dyn] = both([&](core::ConduitConfig conduit) {
+      std::uint64_t heap = 2ULL * block * pes + (1 << 16);
+      auto addrs = std::make_shared<
+          std::vector<std::pair<shmem::SymAddr, shmem::SymAddr>>>();
+      addrs->assign(pes, {~0ULL, ~0ULL});
+      return collective_loop(
+          ctx, pes, conduit, /*iters=*/3, heap,
+          [block, pes, addrs](shmem::ShmemPe& pe) -> sim::Task<> {
+            auto& [src, dest] = (*addrs)[pe.rank()];
+            if (src == ~0ULL) {
+              src = pe.heap().allocate(block, 8);
+              dest = pe.heap().allocate(
+                  static_cast<std::uint64_t>(block) * pes, 8);
+            }
+            co_await pe.fcollect(dest, src, block);
+          });
+    });
+    report.add_row("fcollect", block,
+                   {{"static_us", stat},
+                    {"ondemand_us", dyn},
+                    {"diff_pct", 100.0 * (dyn - stat) / stat}});
+  }
+
+  std::vector<std::uint32_t> reduce_bytes =
+      ctx.quick ? std::vector<std::uint32_t>{8, 32768}
+                : std::vector<std::uint32_t>{8, 128, 2048, 32768, 262144};
+  for (std::uint32_t bytes : reduce_bytes) {
+    std::uint32_t count = bytes / 8;
+    auto [stat, dyn] = both([&](core::ConduitConfig conduit) {
+      auto addrs = std::make_shared<
+          std::vector<std::pair<shmem::SymAddr, shmem::SymAddr>>>();
+      addrs->assign(pes, {~0ULL, ~0ULL});
+      return collective_loop(
+          ctx, pes, conduit, /*iters=*/10, (2ULL * bytes) + (1 << 16),
+          [count, bytes, addrs](shmem::ShmemPe& pe) -> sim::Task<> {
+            auto& [src, dest] = (*addrs)[pe.rank()];
+            if (src == ~0ULL) {
+              src = pe.heap().allocate(bytes, 8);
+              dest = pe.heap().allocate(bytes, 8);
+            }
+            co_await pe.reduce<std::int64_t>(dest, src, count,
+                                             shmem::ReduceOp::kSum);
+          });
+    });
+    report.add_row("reduce", bytes,
+                   {{"static_us", stat},
+                    {"ondemand_us", dyn},
+                    {"diff_pct", 100.0 * (dyn - stat) / stat}});
+  }
+
+  std::vector<std::uint32_t> barrier_pes =
+      ctx.quick ? std::vector<std::uint32_t>{32, 64, 128}
+                : std::vector<std::uint32_t>{128, 256, 512, 1024};
+  for (std::uint32_t bpes : barrier_pes) {
+    auto [stat, dyn] = both([&](core::ConduitConfig conduit) {
+      return collective_loop(ctx, bpes, conduit, /*iters=*/20, 1 << 16,
+                             [](shmem::ShmemPe& pe) -> sim::Task<> {
+                               co_await pe.barrier_all();
+                             });
+    });
+    report.add_row("barrier", bpes,
+                   {{"static_us", stat},
+                    {"ondemand_us", dyn},
+                    {"diff_pct", 100.0 * (dyn - stat) / stat}});
+  }
+}
+
+void bench_fig8a(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::uint32_t pes = ctx.quick ? 64 : 256;
+  report.set_config("pes", static_cast<std::int64_t>(pes));
+  report.set_config("ppn", std::int64_t{8});
+  auto zoo = kernel_zoo(ctx.quick, /*all_apps=*/!ctx.quick);
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    const auto& [name, kernel] = zoo[i];
+    std::unique_ptr<sim::Engine> engine;
+    std::unique_ptr<shmem::ShmemJob> job;
+    bool ok_static = false;
+    bool ok_dynamic = false;
+    double stat = kernel_job(ctx, pes, core::current_design(), kernel,
+                             &engine, &job, &ok_static);
+    double dyn = kernel_job(ctx, pes, core::proposed_design(), kernel,
+                            &engine, &job, &ok_dynamic);
+    report.add_row("wall", static_cast<double>(i),
+                   {{"static_s", stat},
+                    {"ondemand_s", dyn},
+                    {"improvement_pct", 100.0 * (stat - dyn) / stat},
+                    {"verified", (ok_static && ok_dynamic) ? 1.0 : 0.0}},
+                   name);
+  }
+}
+
+void bench_fig8b(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::vector<std::uint32_t> pes_list =
+      ctx.quick ? std::vector<std::uint32_t>{32, 64}
+                : std::vector<std::uint32_t>{128, 256, 512};
+  set_pes_config(report, pes_list);
+  report.set_config("ppn", std::int64_t{8});
+  for (std::uint32_t pes : pes_list) {
+    auto run = [&](core::ConduitConfig conduit, bool* verified) {
+      sim::Engine engine;
+      shmem::ShmemJob job(engine,
+                          seeded_job(ctx, pes, 8, conduit, 2ULL << 20));
+      std::vector<std::unique_ptr<mpi::MpiComm>> comms;
+      for (std::uint32_t r = 0; r < pes; ++r) {
+        comms.push_back(
+            std::make_unique<mpi::MpiComm>(job.conduit_job().conduit(r)));
+      }
+      apps::Graph500Params params;  // paper defaults: 1,024 / 16,384
+      params.compute_ns_per_edge = ctx.quick ? 5.0e4 : 5.0e5;
+      std::vector<apps::KernelResult> results(pes);
+      sim::Time wall = job.run([&](shmem::ShmemPe& pe) -> sim::Task<> {
+        co_await pe.start_pes();
+        co_await apps::graph500_pe(pe, *comms[pe.rank()], params,
+                                   results[pe.rank()]);
+        co_await pe.finalize();
+      });
+      *verified = true;
+      for (const auto& r : results) *verified = *verified && r.verified;
+      return sim::to_seconds(wall);
+    };
+    bool ok_static = false;
+    bool ok_dynamic = false;
+    double stat = run(core::current_design(), &ok_static);
+    double dyn = run(core::proposed_design(), &ok_dynamic);
+    report.add_row("wall", pes,
+                   {{"static_s", stat},
+                    {"ondemand_s", dyn},
+                    {"diff_pct", 100.0 * (stat - dyn) / stat},
+                    {"verified", (ok_static && ok_dynamic) ? 1.0 : 0.0}});
+  }
+}
+
+void bench_fig9(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::vector<double> sizes =
+      ctx.quick ? std::vector<double>{16, 64, 256}
+                : std::vector<double>{64, 256, 1024};
+  double project_at = ctx.quick ? 1024 : 4096;
+  report.set_config("project_at", project_at);
+  report.set_config("ppn", std::int64_t{8});
+  auto zoo = kernel_zoo(ctx.quick, /*all_apps=*/!ctx.quick);
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    const auto& [name, kernel] = zoo[i];
+    std::vector<double> endpoints;
+    for (double pes : sizes) {
+      std::unique_ptr<sim::Engine> engine;
+      std::unique_ptr<shmem::ShmemJob> job;
+      (void)kernel_job(ctx, static_cast<std::uint32_t>(pes),
+                       core::proposed_design(), kernel, &engine, &job);
+      endpoints.push_back(mean_endpoints(*job));
+    }
+    double max_pes = sizes.back();
+    // The static design creates N+1 endpoints per process.
+    double reduction = 100.0 * (1.0 - endpoints.back() / (max_pes + 1.0));
+    report.add_row("endpoints", static_cast<double>(i),
+                   {{"at_" + std::to_string(static_cast<int>(sizes[0])),
+                     endpoints[0]},
+                    {"at_" + std::to_string(static_cast<int>(sizes[1])),
+                     endpoints[1]},
+                    {"at_" + std::to_string(static_cast<int>(sizes[2])),
+                     endpoints[2]},
+                    {"projected", project(sizes, endpoints, project_at)},
+                    {"reduction_pct", reduction}},
+                   name);
+    report.set_metric("reduction_pct/" + std::string(name), reduction);
+  }
+}
+
+void bench_table1(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::uint32_t pes = ctx.quick ? 64 : 256;
+  report.set_config("pes", static_cast<std::int64_t>(pes));
+  report.set_config("ppn", std::int64_t{8});
+  struct Row {
+    const char* name;
+    double paper;
+  };
+  // Paper values hold at the 256-PE evaluation scale.
+  const std::vector<Row> paper = {{"2DHeat", 4.7}, {"EP", 2.0}, {"MG", 9.5},
+                                  {"BT", 9.9},     {"SP", 9.9}};
+  auto zoo = kernel_zoo(ctx.quick, /*all_apps=*/!ctx.quick);
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    const auto& [name, kernel] = zoo[i];
+    std::unique_ptr<sim::Engine> engine;
+    std::unique_ptr<shmem::ShmemJob> job;
+    (void)kernel_job(ctx, pes, core::proposed_design(), kernel, &engine,
+                     &job);
+    double peers = mean_peers(*job);
+    report.add_row("peers", static_cast<double>(i),
+                   {{"measured", peers}, {"paper_at_256", paper[i].paper}},
+                   name);
+  }
+}
+
+void bench_ud_loss(const BenchContext& ctx, telemetry::BenchReport& report) {
+  std::uint32_t pes = ctx.quick ? 16 : 64;
+  std::vector<double> drops = ctx.quick
+                                  ? std::vector<double>{0.0, 0.3}
+                                  : std::vector<double>{0.0, 0.1, 0.3, 0.5};
+  report.set_config("pes", static_cast<std::int64_t>(pes));
+  report.set_config("ppn", std::int64_t{8});
+  for (double drop : drops) {
+    shmem::ShmemJobConfig config =
+        seeded_job(ctx, pes, 8, core::proposed_design());
+    config.job.fabric.ud_drop_rate = drop;
+    config.job.fabric.ud_duplicate_rate = drop / 4;
+    config.job.fabric.ud_jitter_max = 2 * sim::usec;
+    sim::Engine engine;
+    shmem::ShmemJob job(engine, config);
+    // The telemetry pipeline observes the handshakes; its registry is the
+    // source for the retransmit/resend tallies below.
+    telemetry::Telemetry tel;
+    tel.attach(job.conduit_job());
+    sim::Time wall = job.run([pes](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await pe.start_pes();
+      shmem::SymAddr slot = pe.heap().allocate(8 * pes, 8);
+      // First contact with every peer at once: the worst case for the
+      // handshake (maximum collisions + loss).
+      for (std::uint32_t peer = 0; peer < pes; ++peer) {
+        if (peer != pe.rank()) {
+          co_await pe.put_value<std::uint64_t>(peer, slot + 8 * pe.rank(),
+                                               pe.rank());
+        }
+      }
+      co_await pe.finalize();
+    });
+    tel.finish(engine.now());
+    const telemetry::MetricsRegistry& m = tel.metrics();
+    const telemetry::Histogram* hs = m.histogram("conn/handshake_time");
+    report.add_row(
+        "loss", drop,
+        {{"wall_s", sim::to_seconds(wall)},
+         {"retransmits", static_cast<double>(m.counter("conn/retransmits"))},
+         {"reply_resends",
+          static_cast<double>(m.counter("conn/reply_resends"))},
+         {"collisions", static_cast<double>(m.counter("conn/collisions"))},
+         {"handshakes",
+          static_cast<double>(m.counter("conn/handshakes_completed"))},
+         {"handshake_p99_us",
+          hs != nullptr ? sim::to_usec(hs->percentile(99)) : 0.0}});
+  }
+}
+
+void bench_hello_trace(const BenchContext& ctx,
+                       telemetry::BenchReport& report) {
+  constexpr std::uint32_t kPes = 16;
+  report.set_config("pes", std::int64_t{kPes});
+  report.set_config("ppn", std::int64_t{8});
+  report.set_config("design", "ondemand");
+  // A lossy, jittery UD control channel so the trace shows the interesting
+  // protocol paths (retransmits, cached-reply resends, collisions), not just
+  // clean request/reply pairs.
+  shmem::ShmemJobConfig config =
+      seeded_job(ctx, kPes, 8, core::proposed_design());
+  config.job.fabric.ud_drop_rate = 0.25;
+  config.job.fabric.ud_duplicate_rate = 0.05;
+  config.job.fabric.ud_jitter_max = 2 * sim::usec;
+  report.set_config("ud_drop_rate", config.job.fabric.ud_drop_rate);
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, config);
+  telemetry::Telemetry tel;
+  tel.attach(job.conduit_job());
+  sim::Time wall = job.run([](shmem::ShmemPe& pe) -> sim::Task<> {
+    co_await apps::hello_pe(pe, apps::HelloParams{});
+  });
+  tel.finish(engine.now());
+  report.set_metric("wall_s", sim::to_seconds(wall));
+  report.set_metrics_from(tel.metrics());
+
+  std::filesystem::path trace_path =
+      std::filesystem::path(ctx.out_dir) / "TRACE_hello16.json";
+  std::ofstream out(trace_path);
+  telemetry::export_chrome_trace(out, tel.timeline(), kPes);
+  if (!out) {
+    throw std::runtime_error("failed to write " + trace_path.string());
+  }
+  std::cout << "  trace: " << trace_path.string() << "\n";
+}
+
+const std::vector<BenchDef>& registry() {
+  static const std::vector<BenchDef> benches = {
+      {"fig1_startup_breakdown",
+       "start_pes breakdown, static design (paper Fig 1)", bench_fig1},
+      {"fig5_startup",
+       "start_pes + Hello World, current vs proposed (paper Fig 5)",
+       bench_fig5},
+      {"fig6_pt2pt", "pt2pt and atomic latency, 2 PEs (paper Fig 6)",
+       bench_fig6},
+      {"fig7_collectives", "fcollect/reduce/barrier latency (paper Fig 7)",
+       bench_fig7},
+      {"fig8a_nas", "NAS kernel wall time, static vs on-demand (paper Fig 8a)",
+       bench_fig8a},
+      {"fig8b_graph500", "hybrid MPI+OpenSHMEM Graph500 (paper Fig 8b)",
+       bench_fig8b},
+      {"fig9_resources", "endpoints per process + projection (paper Fig 9)",
+       bench_fig9},
+      {"table1_peer_counts", "communicating peers per process (paper Table I)",
+       bench_table1},
+      {"ablation_ud_loss", "handshake robustness under UD loss (ablation A3)",
+       bench_ud_loss},
+      {"hello_trace",
+       "16-PE on-demand hello-world with Chrome trace + full telemetry",
+       bench_hello_trace},
+  };
+  return benches;
+}
+
+void usage() {
+  std::cout << "usage: run_all [options]\n"
+               "  --quick         CI-sized parameters (default)\n"
+               "  --full          paper-scale parameters\n"
+               "  --out DIR       output directory (default .)\n"
+               "  --bench NAME    run one bench (repeatable; default all)\n"
+               "  --seed N        fabric RNG seed (default 1)\n"
+               "  --list          list registered benches\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx;
+  std::vector<std::string> selected;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "run_all: missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      ctx.quick = true;
+    } else if (arg == "--full") {
+      ctx.quick = false;
+    } else if (arg == "--out") {
+      ctx.out_dir = next();
+    } else if (arg == "--bench") {
+      selected.emplace_back(next());
+    } else if (arg == "--seed") {
+      ctx.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "run_all: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const BenchDef& bench : registry()) {
+      std::printf("%-22s %s\n", bench.name, bench.description);
+    }
+    return 0;
+  }
+
+  for (const std::string& name : selected) {
+    bool known = false;
+    for (const BenchDef& bench : registry()) known |= name == bench.name;
+    if (!known) {
+      std::cerr << "run_all: unknown bench " << name
+                << " (see --list)\n";
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(ctx.out_dir, ec);
+  if (ec) {
+    std::cerr << "run_all: cannot create " << ctx.out_dir << ": "
+              << ec.message() << "\n";
+    return 1;
+  }
+
+  int ran = 0;
+  for (const BenchDef& bench : registry()) {
+    if (!selected.empty() &&
+        std::find(selected.begin(), selected.end(), bench.name) ==
+            selected.end()) {
+      continue;
+    }
+    std::cout << "running " << bench.name << " ("
+              << (ctx.quick ? "quick" : "full") << ")...\n";
+    telemetry::BenchReport report(bench.name, ctx.seed);
+    report.set_config("mode", ctx.quick ? "quick" : "full");
+    bench.fn(ctx, report);
+    std::filesystem::path path =
+        std::filesystem::path(ctx.out_dir) /
+        ("BENCH_" + std::string(bench.name) + ".json");
+    std::ofstream out(path);
+    report.write(out);
+    if (!out) {
+      std::cerr << "run_all: failed to write " << path.string() << "\n";
+      return 1;
+    }
+    std::cout << "  wrote " << path.string() << "\n";
+    ++ran;
+  }
+  std::cout << "run_all: " << ran << " benches done\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// schema_check: validate BENCH_*.json files against the "odcm-bench" schema.
+//
+//   schema_check results/BENCH_*.json       # explicit files
+//   schema_check --dir results              # every BENCH_*.json in a dir
+//
+// Exits 0 iff every file parses as strict JSON and matches the schema
+// (src/telemetry/bench_report.hpp). CI runs this over the artifacts that
+// `run_all --quick` emits, so the emitter and validator cannot drift apart.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/bench_report.hpp"
+#include "telemetry/json.hpp"
+
+namespace {
+
+bool check_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path.string() << ": cannot open\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  odcm::telemetry::JsonValue doc;
+  try {
+    doc = odcm::telemetry::JsonValue::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << path.string() << ": JSON parse error: " << e.what() << "\n";
+    return false;
+  }
+  std::string error;
+  if (!odcm::telemetry::BenchReport::validate(doc, &error)) {
+    std::cerr << path.string() << ": schema violation: " << error << "\n";
+    return false;
+  }
+  const odcm::telemetry::JsonValue* bench = doc.find("bench");
+  std::cout << path.string() << ": ok (bench=" << bench->as_string()
+            << ", series rows=" << doc.find("series")->items().size()
+            << ")\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "schema_check: missing value for --dir\n";
+        return 2;
+      }
+      std::filesystem::path dir = argv[++i];
+      std::error_code ec;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(dir, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json") {
+          files.push_back(entry.path());
+        }
+      }
+      if (ec) {
+        std::cerr << "schema_check: cannot read " << dir.string() << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: schema_check [--dir DIR] [file...]\n";
+      return 0;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "schema_check: no input files (use --dir or list files)\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  int bad = 0;
+  for (const auto& file : files) {
+    if (!check_file(file)) ++bad;
+  }
+  std::cout << "schema_check: " << files.size() << " files, " << bad
+            << " invalid\n";
+  return bad == 0 ? 0 : 1;
+}

@@ -17,9 +17,17 @@ cmake -B "${prefix}" -S . "${generator[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
+echo "==> perf smoke (label: perf-smoke)"
+ctest --test-dir "${prefix}" --output-on-failure -L perf-smoke
+
 echo "==> torture sweep (label: torture)"
 ctest --test-dir "${prefix}" --output-on-failure -L torture
-"${prefix}/bench/check_sweep" --seeds 50
+"${prefix}/bench/check_sweep" --seeds 50 \
+  --json "${prefix}/bench-artifacts/CHECK_sweep.json"
+
+echo "==> archiving bench artifacts"
+tar -czf "${prefix}/bench-artifacts.tar.gz" -C "${prefix}" bench-artifacts
+ls -l "${prefix}/bench-artifacts.tar.gz"
 
 echo "==> sanitizer build + tests (${prefix}-asan)"
 cmake -B "${prefix}-asan" -S . "${generator[@]}" \

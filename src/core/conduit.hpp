@@ -328,14 +328,20 @@ class ConduitJob {
   /// capture the connection-protocol event stream).
   [[nodiscard]] sim::Tracer& tracer() noexcept { return tracer_; }
 
-  /// Install a protocol observer (e.g. `check::InvariantChecker`); it must
-  /// outlive the job run. Pass nullptr to detach.
+  /// Install the primary protocol observer (e.g. `check::InvariantChecker`);
+  /// it must outlive the job run. Pass nullptr to detach.
   void set_observer(ProtocolObserver* observer) noexcept {
     observer_ = observer;
   }
   [[nodiscard]] ProtocolObserver* observer() const noexcept {
     return observer_;
   }
+
+  /// Attach an additional observer (e.g. `telemetry::ConnectionTimeline`).
+  /// Observers are notified in attachment order, after the primary one.
+  /// Every observer must outlive the job run or detach itself first.
+  void add_observer(ProtocolObserver* observer);
+  void remove_observer(ProtocolObserver* observer);
 
  private:
   friend class Conduit;
@@ -355,6 +361,7 @@ class ConduitJob {
   std::vector<std::unique_ptr<NodeBarrier>> node_barriers_{};
   sim::Tracer tracer_{};
   ProtocolObserver* observer_ = nullptr;
+  std::vector<ProtocolObserver*> extra_observers_{};
 };
 
 }  // namespace odcm::core

@@ -16,14 +16,16 @@ void Conduit::trace(std::string_view category, std::string text) {
 }
 
 void Conduit::notify(ProtocolEvent event) {
-  if (job_.observer_ != nullptr) {
+  if (job_.observer_ != nullptr || !job_.extra_observers_.empty()) {
     event.self = rank_;
-    job_.observer_->on_event(event);
+    event.time = engine().now();
+    if (job_.observer_ != nullptr) job_.observer_->on_event(event);
+    for (ProtocolObserver* obs : job_.extra_observers_) obs->on_event(event);
   }
 }
 
 void Conduit::set_phase(RankId peer_rank, Peer& p, PeerPhase next) {
-  if (job_.observer_ != nullptr) {
+  if (job_.observer_ != nullptr || !job_.extra_observers_.empty()) {
     ProtocolEvent event;
     event.kind = ProtocolEvent::Kind::kPhaseChange;
     event.self = rank_;
@@ -31,7 +33,9 @@ void Conduit::set_phase(RankId peer_rank, Peer& p, PeerPhase next) {
     event.from = p.phase;
     event.to = next;
     event.role = p.role;
-    job_.observer_->on_event(event);
+    event.time = engine().now();
+    if (job_.observer_ != nullptr) job_.observer_->on_event(event);
+    for (ProtocolObserver* obs : job_.extra_observers_) obs->on_event(event);
   }
   p.phase = next;
 }

@@ -1,4 +1,5 @@
 // ConduitJob: owns the shared substrates and orchestrates per-PE programs.
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -72,6 +73,20 @@ void ConduitJob::spawn_all(std::function<sim::Task<>(Conduit&)> body) {
           co_await job.conduit(r).finalize();
         }(*this, rank, shared_body, join));
   }
+}
+
+void ConduitJob::add_observer(ProtocolObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(extra_observers_.begin(), extra_observers_.end(), observer) ==
+      extra_observers_.end()) {
+    extra_observers_.push_back(observer);
+  }
+}
+
+void ConduitJob::remove_observer(ProtocolObserver* observer) {
+  extra_observers_.erase(std::remove(extra_observers_.begin(),
+                                     extra_observers_.end(), observer),
+                         extra_observers_.end());
 }
 
 sim::StatSet ConduitJob::aggregate_stats() const {

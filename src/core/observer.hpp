@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "fabric/types.hpp"
+#include "sim/time.hpp"
 
 namespace odcm::core {
 
@@ -80,6 +81,10 @@ struct ProtocolEvent {
   PeerPhase to = PeerPhase::kIdle;    ///< kPhaseChange only.
   PeerRole role = PeerRole::kNone;
   std::uint32_t attempt = 0;  ///< kRetransmit only.
+  /// Virtual time of the event; filled in by the conduit at report time so
+  /// timeline consumers (telemetry::ConnectionTimeline) need no engine
+  /// access.
+  sim::Time time = 0;
 };
 
 /// Interface for job-wide protocol observation. Implementations may throw

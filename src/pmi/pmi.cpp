@@ -7,6 +7,35 @@
 
 namespace odcm::pmi {
 
+namespace {
+
+/// Report a counter to the (possibly absent) metrics sink.
+void count(sim::MetricsSink* sink, std::string_view name,
+           std::int64_t delta = 1) {
+  if (sink != nullptr) sink->on_counter(name, delta);
+}
+
+/// RAII span: reports the elapsed virtual time of one PMI call as a
+/// duration sample. Observation-only; never perturbs the cost model.
+class OobSpan {
+ public:
+  OobSpan(sim::Engine& engine, sim::MetricsSink* sink, std::string_view name)
+      : engine_(engine), sink_(sink), name_(name), start_(engine.now()) {}
+  OobSpan(const OobSpan&) = delete;
+  OobSpan& operator=(const OobSpan&) = delete;
+  ~OobSpan() {
+    if (sink_ != nullptr) sink_->on_duration(name_, engine_.now() - start_);
+  }
+
+ private:
+  sim::Engine& engine_;
+  sim::MetricsSink* sink_;
+  std::string_view name_;
+  sim::Time start_;
+};
+
+}  // namespace
+
 JobManager::JobManager(sim::Engine& engine, PmiConfig config)
     : engine_(engine), config_(config) {
   if (config_.ranks == 0 || config_.ranks_per_node == 0) {
@@ -109,6 +138,7 @@ void JobManager::arrive_ring(std::uint32_t index, RankId rank,
   std::uint64_t bytes = 0;
   for (const auto& contribution : round.values) bytes += contribution.size();
   oob_bytes_moved_ += bytes;  // each value moves to exactly two neighbors
+  count(metrics_, "pmi/oob_bytes", static_cast<std::int64_t>(bytes));
   sim::Time cost = 2 * tree_depth() * config_.oob_latency +
                    4 * config_.oob_latency;
   engine_.schedule_after(cost, [this, index] {
@@ -143,6 +173,8 @@ void JobManager::arrive_fence(std::uint32_t index) {
   staged_bytes_ = 0;
   std::uint64_t entries = flushing->size();
   oob_bytes_moved_ += bytes * 2 * tree_depth();
+  count(metrics_, "pmi/oob_bytes",
+        static_cast<std::int64_t>(bytes * 2 * tree_depth()));
   engine_.schedule_after(fence_cost(bytes, entries),
                          [this, index, flushing] {
                            for (auto& [key, value] : *flushing) {
@@ -168,6 +200,8 @@ void JobManager::arrive_allgather(std::uint32_t index, RankId rank,
   std::uint64_t bytes = 0;
   for (const auto& contribution : round.values) bytes += contribution.size();
   oob_bytes_moved_ += bytes * 2 * tree_depth();
+  count(metrics_, "pmi/oob_bytes",
+        static_cast<std::int64_t>(bytes * 2 * tree_depth()));
   engine_.schedule_after(allgather_cost(bytes, config_.ranks),
                          [this, index] {
                            Round& round = allgather_round(index);
@@ -181,6 +215,10 @@ PmiClient::PmiClient(JobManager& manager, RankId rank)
 
 sim::Task<> PmiClient::put(std::string key, std::string value) {
   const PmiConfig& cfg = manager_.config();
+  count(manager_.metrics_, "pmi/puts");
+  count(manager_.metrics_, "pmi/put_bytes",
+        static_cast<std::int64_t>(key.size() + value.size()));
+  OobSpan span(manager_.engine(), manager_.metrics_, "pmi/put");
   auto busy = cfg.put_overhead +
               static_cast<sim::Time>(
                   static_cast<double>(key.size() + value.size()) /
@@ -193,6 +231,8 @@ sim::Task<> PmiClient::put(std::string key, std::string value) {
 
 sim::Task<std::optional<std::string>> PmiClient::get(std::string key) {
   const PmiConfig& cfg = manager_.config();
+  count(manager_.metrics_, "pmi/gets");
+  OobSpan span(manager_.engine(), manager_.metrics_, "pmi/get");
   // The reply size is not known until the lookup; charge for the key on the
   // request and for the value on the reply.
   sim::Time done = manager_.reserve_daemon(
@@ -227,16 +267,19 @@ sim::Task<> PmiClient::fence() {
 
 CollectiveTicket PmiClient::ifence_start() {
   std::uint32_t index = next_fence_++;
+  count(manager_.metrics_, "pmi/fences_started");
   manager_.arrive_fence(index);
   return CollectiveTicket{index};
 }
 
 sim::Task<> PmiClient::wait(CollectiveTicket ticket) {
+  OobSpan span(manager_.engine(), manager_.metrics_, "pmi/fence_wait");
   co_await manager_.fence_round(ticket.round).gate.wait();
 }
 
 CollectiveTicket PmiClient::iallgather_start(std::string value) {
   std::uint32_t index = next_allgather_++;
+  count(manager_.metrics_, "pmi/iallgathers_started");
   manager_.arrive_allgather(index, rank_, std::move(value));
   return CollectiveTicket{index};
 }
@@ -244,6 +287,8 @@ CollectiveTicket PmiClient::iallgather_start(std::string value) {
 sim::Task<std::pair<std::string, std::string>> PmiClient::ring(
     std::string value) {
   std::uint32_t index = next_ring_++;
+  count(manager_.metrics_, "pmi/rings");
+  OobSpan span(manager_.engine(), manager_.metrics_, "pmi/ring");
   manager_.arrive_ring(index, rank_, std::move(value));
   JobManager::Round& round = manager_.ring_round(index);
   co_await round.gate.wait();
@@ -263,6 +308,7 @@ sim::Task<std::pair<std::string, std::string>> PmiClient::ring(
 
 sim::Task<std::vector<std::string>> PmiClient::iallgather_wait(
     CollectiveTicket ticket) {
+  OobSpan span(manager_.engine(), manager_.metrics_, "pmi/iallgather_wait");
   JobManager::Round& round = manager_.allgather_round(ticket.round);
   co_await round.gate.wait();
   // Bulk delivery of the gathered table over local IPC, serialized on the

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/metrics_sink.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -95,6 +96,15 @@ class JobManager {
     return oob_bytes_moved_;
   }
 
+  /// Install (or clear) a live metrics sink; every PMI call then reports
+  /// `pmi/...` counters and out-of-band exchange span durations to it. The
+  /// accounting is observation-only — it never touches the cost model — so
+  /// virtual time is identical with and without a sink.
+  void set_metrics_sink(sim::MetricsSink* sink) noexcept { metrics_ = sink; }
+  [[nodiscard]] sim::MetricsSink* metrics_sink() const noexcept {
+    return metrics_;
+  }
+
  private:
   friend class PmiClient;
 
@@ -144,6 +154,7 @@ class JobManager {
   std::vector<std::unique_ptr<Round>> ring_rounds_{};
   std::uint32_t fences_completed_ = 0;
   std::uint64_t oob_bytes_moved_ = 0;
+  sim::MetricsSink* metrics_ = nullptr;
 };
 
 /// Per-process PMI endpoint.

@@ -1,0 +1,30 @@
+// Sink interface decoupling the low-level instrumentation surfaces from the
+// telemetry subsystem.
+//
+// `sim` cannot depend on `telemetry` (telemetry sits above core, which sits
+// above sim), yet `StatSet` counters and phase times — and the PMI layer's
+// out-of-band accounting — must flow into the job-wide
+// `telemetry::MetricsRegistry`. This interface is the seam: the registry
+// implements it, and any low-level component holding a nullable
+// `MetricsSink*` forwards its observations for the cost of one branch.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace odcm::sim {
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+
+  /// A named counter moved by `delta`.
+  virtual void on_counter(std::string_view name, std::int64_t delta) = 0;
+
+  /// A named phase/span consumed `dt` of virtual time (one sample).
+  virtual void on_duration(std::string_view name, Time dt) = 0;
+};
+
+}  // namespace odcm::sim

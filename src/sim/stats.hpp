@@ -13,20 +13,34 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/metrics_sink.hpp"
 #include "sim/time.hpp"
 
 namespace odcm::sim {
 
 /// A bag of named integer counters and named accumulated durations.
+///
+/// An optional `MetricsSink` (set by the telemetry subsystem when attached)
+/// receives every observation as it happens; with no sink installed the
+/// forwarding costs one branch.
 class StatSet {
  public:
   /// Increment counter `name` by `delta`.
   void add(const std::string& name, std::int64_t delta = 1) {
     counters_[name] += delta;
+    if (sink_ != nullptr) sink_->on_counter(name, delta);
   }
 
   /// Accumulate `dt` of virtual time into phase `name`.
-  void add_time(const std::string& name, Time dt) { phases_[name] += dt; }
+  void add_time(const std::string& name, Time dt) {
+    phases_[name] += dt;
+    if (sink_ != nullptr) sink_->on_duration(name, dt);
+  }
+
+  /// Install (or clear, with nullptr) the live observation sink. The sink
+  /// must outlive the stat set or be detached before destruction.
+  void set_sink(MetricsSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] MetricsSink* sink() const noexcept { return sink_; }
 
   [[nodiscard]] std::int64_t counter(const std::string& name) const {
     auto it = counters_.find(name);
@@ -59,6 +73,7 @@ class StatSet {
  private:
   std::map<std::string, std::int64_t> counters_{};
   std::map<std::string, Time> phases_{};
+  MetricsSink* sink_ = nullptr;
 };
 
 /// RAII-style phase timer against the virtual clock.

@@ -28,22 +28,29 @@ class Tracer {
     std::string text;
   };
 
-  explicit Tracer(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+  explicit Tracer(std::size_t capacity = 1 << 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
   void enable() noexcept { enabled_ = true; }
   void disable() noexcept { enabled_ = false; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   /// Append a record (no-op when disabled). The oldest records are dropped
-  /// once the ring is full; `dropped()` reports how many.
+  /// once the ring is full; `dropped()` reports how many. `count()` reflects
+  /// the records currently retained in the ring: when a record falls off the
+  /// ring its category count is decremented, so per-category counts always
+  /// agree with `records()`.
   void record(Time time, std::string_view category, std::uint32_t actor,
               std::string text) {
     if (!enabled_) return;
-    ++counts_[std::string(category)];
     if (records_.size() == capacity_) {
+      const Record& oldest = records_.front();
+      auto it = counts_.find(oldest.category);
+      if (it != counts_.end() && --it->second == 0) counts_.erase(it);
       records_.pop_front();
       ++dropped_;
     }
+    ++counts_[std::string(category)];
     records_.push_back(
         Record{time, std::string(category), actor, std::move(text)});
   }

@@ -1,0 +1,40 @@
+// Chrome Trace Event Format export of a ConnectionTimeline.
+//
+// The output loads directly in chrome://tracing and in Perfetto's legacy
+// trace viewer (ui.perfetto.dev → "Open trace file"). Layout:
+//
+//  * pid 1 "PEs" — one thread (track) per PE, carrying a counter series
+//    "established" (live RC connections at that PE over virtual time).
+//  * pid 2 "connections" — one thread (track) per directional (src → dst)
+//    pair that ever left Idle, carrying complete ("X") slices for each
+//    protocol phase (Requesting / Establishing / Connected / Draining) and
+//    instant ("i") events for the handshake annotations (retransmit,
+//    collision, held request, cached-reply resend, payload installation).
+//
+// Timestamps are virtual-time microseconds (the format's native unit) with
+// nanosecond precision preserved in the fraction; identical runs produce
+// byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace odcm::telemetry {
+
+struct ChromeTraceOptions {
+  /// Emit the per-PE "established connections" counter tracks.
+  bool pe_counter_tracks = true;
+  /// Emit instant events for protocol annotations on the pair tracks.
+  bool annotations = true;
+};
+
+/// Write the timeline (for a job of `ranks` PEs) as Trace Event JSON.
+void export_chrome_trace(std::ostream& out,
+                         const ConnectionTimeline& timeline,
+                         std::uint32_t ranks,
+                         const ChromeTraceOptions& options = {});
+
+}  // namespace odcm::telemetry

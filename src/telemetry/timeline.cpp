@@ -1,0 +1,121 @@
+#include "telemetry/timeline.hpp"
+
+namespace odcm::telemetry {
+
+using core::PeerPhase;
+using core::PeerRole;
+using core::ProtocolEvent;
+
+ConnectionTimeline::PairState& ConnectionTimeline::state(
+    fabric::RankId self, fabric::RankId peer) {
+  return pairs_[{self, peer}];
+}
+
+ConnectionTimeline::Handshake* ConnectionTimeline::open_handshake(
+    PairState& s) {
+  if (s.open_handshake == 0) return nullptr;
+  return &handshakes_[s.open_handshake - 1];
+}
+
+void ConnectionTimeline::on_event(const ProtocolEvent& event) {
+  ++events_seen_;
+  PairState& s = state(event.self, event.peer);
+
+  if (event.kind != ProtocolEvent::Kind::kPhaseChange) {
+    // Protocol annotation: attach to the in-flight handshake when there is
+    // one, and aggregate into the registry either way.
+    Annotation note{event.kind, event.time, event.attempt};
+    if (Handshake* hs = open_handshake(s)) {
+      hs->annotations.push_back(note);
+      switch (event.kind) {
+        case ProtocolEvent::Kind::kRetransmit: ++hs->retransmits; break;
+        case ProtocolEvent::Kind::kCollision: ++hs->collisions; break;
+        case ProtocolEvent::Kind::kRequestHeld: ++hs->held_requests; break;
+        case ProtocolEvent::Kind::kReplyResend: ++hs->reply_resends; break;
+        default: break;
+      }
+    }
+    if (registry_ != nullptr) {
+      switch (event.kind) {
+        case ProtocolEvent::Kind::kRetransmit:
+          registry_->add("conn/retransmits");
+          break;
+        case ProtocolEvent::Kind::kCollision:
+          registry_->add("conn/collisions");
+          break;
+        case ProtocolEvent::Kind::kRequestHeld:
+          registry_->add("conn/requests_held");
+          break;
+        case ProtocolEvent::Kind::kReplyResend:
+          registry_->add("conn/reply_resends");
+          break;
+        case ProtocolEvent::Kind::kQpBound:
+          registry_->add("conn/qp_bound");
+          break;
+        case ProtocolEvent::Kind::kQpUnbound:
+          registry_->add("conn/qp_unbound");
+          break;
+        case ProtocolEvent::Kind::kPayloadInstalled:
+          registry_->add("conn/payloads_installed");
+          break;
+        case ProtocolEvent::Kind::kRdmaIssued:
+          registry_->add("conn/rdma_issued");
+          break;
+        default: break;
+      }
+    }
+    return;
+  }
+
+  // Phase change: close the current interval, open the next.
+  if (s.phase != PeerPhase::kIdle) {
+    intervals_.push_back(PhaseInterval{event.self, event.peer, s.phase,
+                                       s.role, s.phase_start, event.time,
+                                       true});
+  }
+  // The conduit reports the role *at the moment of the transition*; keep
+  // the last non-None one so Connected/Draining intervals stay attributed.
+  if (event.role != PeerRole::kNone) s.role = event.role;
+
+  const bool entering_handshake =
+      s.phase == PeerPhase::kIdle && (event.to == PeerPhase::kRequesting ||
+                                      event.to == PeerPhase::kEstablishing ||
+                                      event.to == PeerPhase::kConnected);
+  const bool draining_reconnect = s.phase == PeerPhase::kDraining &&
+                                  event.to == PeerPhase::kEstablishing;
+  if ((entering_handshake || draining_reconnect) && s.open_handshake == 0) {
+    handshakes_.push_back(Handshake{event.self, event.peer, s.role,
+                                    event.time, event.time, false, 0, 0, 0,
+                                    0, {}});
+    s.open_handshake = handshakes_.size();
+  }
+  if (event.to == PeerPhase::kConnected) {
+    if (Handshake* hs = open_handshake(s)) {
+      hs->established = event.time;
+      hs->complete = true;
+      hs->role = s.role;
+      if (registry_ != nullptr) {
+        registry_->observe("conn/handshake_time", event.time - hs->start);
+        registry_->add("conn/handshakes_completed");
+      }
+      s.open_handshake = 0;
+    }
+  }
+
+  s.phase = event.to;
+  s.phase_start = event.time;
+}
+
+void ConnectionTimeline::finish(sim::Time now) {
+  for (auto& [key, s] : pairs_) {
+    if (s.phase != PeerPhase::kIdle) {
+      intervals_.push_back(PhaseInterval{key.first, key.second, s.phase,
+                                         s.role, s.phase_start, now, false});
+      s.phase = PeerPhase::kIdle;
+      s.phase_start = now;
+    }
+    s.open_handshake = 0;
+  }
+}
+
+}  // namespace odcm::telemetry

@@ -1,0 +1,107 @@
+// ConnectionTimeline: materializes the conduit's ProtocolObserver event
+// stream into per-(self, peer) spans.
+//
+// The conduit reports every consequential protocol step (observer.hpp); this
+// observer folds that stream into two views:
+//
+//  * `intervals()` — every contiguous stretch one endpoint's state machine
+//    spent in a non-idle phase toward one peer (Requesting, Establishing,
+//    Connected, Draining), with start/end virtual times. One endpoint's
+//    intervals toward one peer never overlap, which is what lets the Chrome
+//    exporter lay them out as nested-free slices on a per-pair track.
+//  * `handshakes()` — one record per completed connection establishment
+//    (first Requesting/Establishing entry → Connected), annotated with the
+//    retransmits, collisions, held requests and cached-reply resends that
+//    happened on the way. This is the machine-readable form of the paper's
+//    Fig. 4 exchange.
+//
+// Purely observational: attaching a timeline never schedules events or
+// touches the cost model, so virtual time is identical with and without it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace odcm::telemetry {
+
+class ConnectionTimeline : public core::ProtocolObserver {
+ public:
+  /// A protocol annotation pinned to a point in virtual time.
+  struct Annotation {
+    core::ProtocolEvent::Kind kind;
+    sim::Time time;
+    std::uint32_t attempt;  ///< kRetransmit only.
+  };
+
+  /// One contiguous non-idle phase of `self`'s state machine toward `peer`.
+  struct PhaseInterval {
+    fabric::RankId self;
+    fabric::RankId peer;
+    core::PeerPhase phase;
+    core::PeerRole role;
+    sim::Time start;
+    sim::Time end;
+    bool closed;  ///< false: still open when the run ended.
+  };
+
+  /// One completed (or abandoned) connection establishment at `self`.
+  struct Handshake {
+    fabric::RankId self;
+    fabric::RankId peer;
+    core::PeerRole role;
+    sim::Time start;
+    sim::Time established;  ///< == start while incomplete.
+    bool complete;
+    std::uint32_t retransmits;
+    std::uint32_t collisions;
+    std::uint32_t held_requests;
+    std::uint32_t reply_resends;
+    std::vector<Annotation> annotations;
+  };
+
+  /// An optional registry receives aggregate protocol metrics
+  /// (`conn/handshake_time` histogram, `conn/retransmits` counter, ...).
+  explicit ConnectionTimeline(MetricsRegistry* registry = nullptr)
+      : registry_(registry) {}
+
+  void on_event(const core::ProtocolEvent& event) override;
+
+  /// Close every still-open interval/handshake at time `now` (call after
+  /// the run; exporters handle open intervals but prefer closed ones).
+  void finish(sim::Time now);
+
+  [[nodiscard]] const std::vector<PhaseInterval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] const std::vector<Handshake>& handshakes() const noexcept {
+    return handshakes_;
+  }
+  [[nodiscard]] std::uint64_t events_seen() const noexcept {
+    return events_seen_;
+  }
+
+ private:
+  struct PairState {
+    core::PeerPhase phase = core::PeerPhase::kIdle;
+    sim::Time phase_start = 0;
+    core::PeerRole role = core::PeerRole::kNone;
+    /// Index + 1 into handshakes_ of the in-flight establishment (0: none).
+    std::size_t open_handshake = 0;
+  };
+
+  PairState& state(fabric::RankId self, fabric::RankId peer);
+  Handshake* open_handshake(PairState& s);
+
+  MetricsRegistry* registry_;
+  std::map<std::pair<fabric::RankId, fabric::RankId>, PairState> pairs_{};
+  std::vector<PhaseInterval> intervals_{};
+  std::vector<Handshake> handshakes_{};
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace odcm::telemetry

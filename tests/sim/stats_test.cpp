@@ -1,12 +1,29 @@
 // Unit tests for StatSet and PhaseTimer.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "sim/engine.hpp"
+#include "sim/metrics_sink.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
 
 namespace odcm::sim {
 namespace {
+
+/// Records every forwarded event for inspection.
+struct RecordingSink : MetricsSink {
+  void on_counter(std::string_view name, std::int64_t delta) override {
+    counters.emplace_back(std::string(name), delta);
+  }
+  void on_duration(std::string_view name, Time dt) override {
+    durations.emplace_back(std::string(name), dt);
+  }
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, Time>> durations;
+};
 
 TEST(StatSet, CountersDefaultToZero) {
   StatSet stats;
@@ -49,6 +66,23 @@ TEST(StatSet, ClearResets) {
   stats.clear();
   EXPECT_TRUE(stats.counters().empty());
   EXPECT_TRUE(stats.phases().empty());
+}
+
+TEST(StatSet, ForwardsToSink) {
+  StatSet stats;
+  RecordingSink sink;
+  stats.set_sink(&sink);
+  stats.add("qp_created", 2);
+  stats.add_time("connect", 150);
+  stats.set_sink(nullptr);
+  stats.add("qp_created");  // not forwarded once detached
+  ASSERT_EQ(sink.counters.size(), 1u);
+  EXPECT_EQ(sink.counters[0], (std::pair<std::string, std::int64_t>{
+                                  "qp_created", 2}));
+  ASSERT_EQ(sink.durations.size(), 1u);
+  EXPECT_EQ(sink.durations[0].second, 150u);
+  // Local accounting is unaffected by the sink.
+  EXPECT_EQ(stats.counter("qp_created"), 3);
 }
 
 TEST(PhaseTimer, MeasuresVirtualTimeAcrossSuspension) {

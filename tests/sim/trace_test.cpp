@@ -1,0 +1,86 @@
+// Unit tests for the bounded-ring Tracer, including the regression for
+// category counts drifting once the ring wraps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hpp"
+
+namespace odcm::sim {
+namespace {
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer tracer;
+  tracer.record(1, "conn", 0, "ignored");
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.count("conn"), 0u);
+}
+
+TEST(Tracer, RecordsWhenEnabled) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(5, "conn", 2, "request");
+  tracer.record(9, "pmi", 1, "put");
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].time, 5u);
+  EXPECT_EQ(tracer.records()[1].category, "pmi");
+  EXPECT_EQ(tracer.count("conn"), 1u);
+  EXPECT_EQ(tracer.count("pmi"), 1u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// Regression: counts_ used to keep counting dropped records, so after the
+// ring wrapped, count(category) no longer agreed with records().
+TEST(Tracer, CountsTrackRetainedRecordsAfterWrap) {
+  Tracer tracer(/*capacity=*/4);
+  tracer.enable();
+  for (int i = 0; i < 4; ++i) tracer.record(i, "old", 0, "x");
+  for (int i = 0; i < 3; ++i) tracer.record(10 + i, "new", 0, "y");
+  EXPECT_EQ(tracer.records().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  // 3 "old" records fell off the ring; 1 remains alongside 3 "new".
+  EXPECT_EQ(tracer.count("old"), 1u);
+  EXPECT_EQ(tracer.count("new"), 3u);
+  // Once the last "old" record drops, its category entry disappears.
+  tracer.record(20, "new", 0, "z");
+  EXPECT_EQ(tracer.count("old"), 0u);
+  EXPECT_EQ(tracer.count("new"), 4u);
+}
+
+TEST(Tracer, ZeroCapacityClampsToOne) {
+  Tracer tracer(/*capacity=*/0);
+  tracer.enable();
+  tracer.record(1, "a", 0, "first");
+  tracer.record(2, "b", 0, "second");
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].category, "b");
+  EXPECT_EQ(tracer.count("a"), 0u);
+  EXPECT_EQ(tracer.count("b"), 1u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  Tracer tracer(2);
+  tracer.enable();
+  tracer.record(1, "a", 0, "x");
+  tracer.record(2, "a", 0, "y");
+  tracer.record(3, "a", 0, "z");
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.count("a"), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, CsvDumpQuotesText) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(7, "conn", 3, "req peer=1");
+  std::ostringstream out;
+  tracer.dump_csv(out);
+  EXPECT_EQ(out.str(),
+            "time_ns,category,actor,text\n"
+            "7,conn,3,\"req peer=1\"\n");
+}
+
+}  // namespace
+}  // namespace odcm::sim

@@ -1,0 +1,164 @@
+// Chrome Trace Event export: well-formedness (via the strict JSON parser)
+// and a golden-file check over a hand-authored, sim-independent timeline.
+//
+// The golden file lives at tests/telemetry/golden/synthetic_trace.json. On
+// mismatch the test writes the actual bytes next to the build tree as
+// synthetic_trace_actual.json; inspect the diff and copy it over the golden
+// if the change is intentional.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace odcm::telemetry {
+namespace {
+
+using core::PeerPhase;
+using core::PeerRole;
+using core::ProtocolEvent;
+
+/// A small two-pair timeline exercising every event family the exporter
+/// emits: slices, annotations (with and without attempt), counters, and an
+/// interval left open at finish().
+ConnectionTimeline synthetic_timeline() {
+  ConnectionTimeline timeline;
+  auto pc = [&](fabric::RankId self, fabric::RankId peer, PeerPhase from,
+                PeerPhase to, PeerRole role, sim::Time t) {
+    timeline.on_event(ProtocolEvent{.kind = ProtocolEvent::Kind::kPhaseChange,
+                                    .self = self,
+                                    .peer = peer,
+                                    .from = from,
+                                    .to = to,
+                                    .role = role,
+                                    .time = t});
+  };
+  auto note = [&](ProtocolEvent::Kind kind, fabric::RankId self,
+                  fabric::RankId peer, sim::Time t, std::uint32_t attempt) {
+    timeline.on_event(ProtocolEvent{.kind = kind,
+                                    .self = self,
+                                    .peer = peer,
+                                    .attempt = attempt,
+                                    .time = t});
+  };
+  // 0 → 1: client handshake with a retransmit and a collision.
+  pc(0, 1, PeerPhase::kIdle, PeerPhase::kRequesting, PeerRole::kClient, 1000);
+  note(ProtocolEvent::Kind::kRetransmit, 0, 1, 2500, 1);
+  note(ProtocolEvent::Kind::kCollision, 0, 1, 3000, 0);
+  pc(0, 1, PeerPhase::kRequesting, PeerPhase::kEstablishing,
+     PeerRole::kClient, 4000);
+  note(ProtocolEvent::Kind::kQpBound, 0, 1, 4200, 0);
+  pc(0, 1, PeerPhase::kEstablishing, PeerPhase::kConnected, PeerRole::kClient,
+     5125);
+  // 1 → 0: the server side, completing later and staying connected.
+  pc(1, 0, PeerPhase::kIdle, PeerPhase::kEstablishing, PeerRole::kServer,
+     2000);
+  note(ProtocolEvent::Kind::kReplyResend, 1, 0, 2750, 0);
+  pc(1, 0, PeerPhase::kEstablishing, PeerPhase::kConnected, PeerRole::kServer,
+     6000);
+  // 0 → 1 drains again so the counter track has a falling edge.
+  pc(0, 1, PeerPhase::kConnected, PeerPhase::kDraining, PeerRole::kClient,
+     8000);
+  pc(0, 1, PeerPhase::kDraining, PeerPhase::kIdle, PeerRole::kClient, 9000);
+  timeline.finish(10000);
+  return timeline;
+}
+
+std::string export_to_string(const ConnectionTimeline& timeline,
+                             std::uint32_t ranks) {
+  std::ostringstream out;
+  export_chrome_trace(out, timeline, ranks);
+  return out.str();
+}
+
+TEST(ChromeTrace, MatchesGoldenFile) {
+  std::string actual = export_to_string(synthetic_timeline(), 2);
+  std::string golden_path =
+      std::string(ODCM_TEST_GOLDEN_DIR) + "/synthetic_trace.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  if (actual != golden.str()) {
+    std::ofstream dump("synthetic_trace_actual.json");
+    dump << actual;
+    FAIL() << "trace differs from " << golden_path
+           << "; actual bytes written to synthetic_trace_actual.json";
+  }
+}
+
+TEST(ChromeTrace, OutputIsWellFormed) {
+  std::string text = export_to_string(synthetic_timeline(), 2);
+  JsonValue doc = JsonValue::parse(text);  // throws on malformed JSON
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool seen_non_metadata = false;
+  int slices = 0;
+  int instants = 0;
+  int counters = 0;
+  for (const JsonValue& event : events->items()) {
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(event.find("name"), nullptr);
+    ASSERT_NE(event.find("pid"), nullptr);
+    const std::string& kind = ph->as_string();
+    if (kind == "M") {
+      // Metadata precedes all timed events.
+      EXPECT_FALSE(seen_non_metadata);
+      continue;
+    }
+    seen_non_metadata = true;
+    ASSERT_NE(event.find("ts"), nullptr);
+    ASSERT_NE(event.find("tid"), nullptr);
+    EXPECT_TRUE(event.find("ts")->is_number());
+    if (kind == "X") {
+      ++slices;
+      ASSERT_NE(event.find("dur"), nullptr);
+      EXPECT_GE(event.find("dur")->as_double(), 0.0);
+    } else if (kind == "i") {
+      ++instants;
+    } else if (kind == "C") {
+      ++counters;
+      ASSERT_NE(event.find("args")->find("connections"), nullptr);
+    } else {
+      FAIL() << "unexpected event kind " << kind;
+    }
+  }
+  // 6 phase intervals, 4 annotations; counter edges for the two Connected
+  // intervals (PE 0: connect+drain, PE 1: connect+finish-close).
+  EXPECT_EQ(slices, 6);
+  EXPECT_EQ(instants, 4);
+  EXPECT_EQ(counters, 4);
+}
+
+TEST(ChromeTrace, TimestampsCarryNanosecondFraction) {
+  std::string text = export_to_string(synthetic_timeline(), 2);
+  // 5125 ns → 5.125 µs on the Connected slice edge.
+  EXPECT_NE(text.find("\"ts\":5.125"), std::string::npos);
+}
+
+TEST(ChromeTrace, OptionsSuppressTracks) {
+  ConnectionTimeline timeline = synthetic_timeline();
+  ChromeTraceOptions options;
+  options.annotations = false;
+  options.pe_counter_tracks = false;
+  std::ostringstream out;
+  export_chrome_trace(out, timeline, 2, options);
+  JsonValue doc = JsonValue::parse(out.str());
+  for (const JsonValue& event : doc.find("traceEvents")->items()) {
+    const std::string& kind = event.find("ph")->as_string();
+    EXPECT_TRUE(kind == "M" || kind == "X") << kind;
+  }
+}
+
+TEST(ChromeTrace, ExportIsDeterministic) {
+  EXPECT_EQ(export_to_string(synthetic_timeline(), 2),
+            export_to_string(synthetic_timeline(), 2));
+}
+
+}  // namespace
+}  // namespace odcm::telemetry

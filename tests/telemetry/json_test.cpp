@@ -1,0 +1,96 @@
+// Unit tests for the deterministic JSON DOM, writer and strict parser.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+
+namespace odcm::telemetry {
+namespace {
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", 1);
+  obj.set("apple", 2);
+  obj.set("mango", 3);
+  EXPECT_EQ(obj.dump(), R"({"zebra":1,"apple":2,"mango":3})");
+}
+
+TEST(JsonValue, DuplicateKeyThrows) {
+  JsonValue obj = JsonValue::object();
+  obj.set("k", 1);
+  EXPECT_THROW(obj.set("k", 2), std::runtime_error);
+}
+
+TEST(JsonValue, ScalarsAndNesting) {
+  JsonValue doc = JsonValue::object();
+  doc.set("b", true);
+  doc.set("n", JsonValue());
+  doc.set("i", std::int64_t{-42});
+  doc.set("d", 0.5);
+  doc.set("s", "hi");
+  JsonValue arr = JsonValue::array();
+  arr.push(1);
+  arr.push("two");
+  doc.set("a", std::move(arr));
+  EXPECT_EQ(doc.dump(), R"({"b":true,"n":null,"i":-42,"d":0.5,"s":"hi",)"
+                        R"("a":[1,"two"]})");
+}
+
+TEST(JsonValue, StringEscaping) {
+  JsonValue v("quote\" back\\ newline\n tab\t ctrl\x01");
+  EXPECT_EQ(v.dump(), "\"quote\\\" back\\\\ newline\\n tab\\t ctrl\\u0001\"");
+}
+
+TEST(JsonValue, DoubleRoundTripPrecision) {
+  JsonValue v(0.1);
+  JsonValue parsed = JsonValue::parse(v.dump());
+  EXPECT_EQ(parsed.as_double(), 0.1);
+}
+
+TEST(JsonValue, PrettyPrinting) {
+  JsonValue doc = JsonValue::object();
+  doc.set("x", 1);
+  JsonValue arr = JsonValue::array();
+  arr.push(2);
+  doc.set("a", std::move(arr));
+  EXPECT_EQ(doc.dump(2), "{\n  \"x\": 1,\n  \"a\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonParse, RoundTripsItsOwnOutput) {
+  const char* text =
+      R"({"schema":"odcm-bench","v":1,"xs":[1,2.5,-3],"o":{"t":true}})";
+  JsonValue doc = JsonValue::parse(text);
+  EXPECT_EQ(doc.dump(), text);
+}
+
+TEST(JsonParse, AcceptsEscapesAndExponents) {
+  JsonValue doc = JsonValue::parse(R"(["aAb", 1e3, -2.5E-2])");
+  EXPECT_EQ(doc.items()[0].as_string(), "aAb");
+  EXPECT_EQ(doc.items()[1].as_double(), 1000.0);
+  EXPECT_EQ(doc.items()[2].as_double(), -0.025);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{'k':1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nan"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("01"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  JsonValue i(std::int64_t{1});
+  EXPECT_THROW((void)i.as_string(), std::runtime_error);
+  EXPECT_THROW((void)i.items(), std::runtime_error);
+  EXPECT_THROW(i.set("k", 1), std::runtime_error);
+  JsonValue obj = JsonValue::object();
+  EXPECT_THROW(obj.push(1), std::runtime_error);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace odcm::telemetry

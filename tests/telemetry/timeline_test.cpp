@@ -1,0 +1,176 @@
+// Unit tests for ConnectionTimeline: folding the ProtocolObserver stream
+// into phase intervals and annotated handshakes.
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
+
+namespace odcm::telemetry {
+namespace {
+
+using core::PeerPhase;
+using core::PeerRole;
+using core::ProtocolEvent;
+
+ProtocolEvent phase_change(fabric::RankId self, fabric::RankId peer,
+                           PeerPhase from, PeerPhase to, PeerRole role,
+                           sim::Time time) {
+  return ProtocolEvent{.kind = ProtocolEvent::Kind::kPhaseChange,
+                       .self = self,
+                       .peer = peer,
+                       .from = from,
+                       .to = to,
+                       .role = role,
+                       .time = time};
+}
+
+ProtocolEvent note(ProtocolEvent::Kind kind, fabric::RankId self,
+                   fabric::RankId peer, sim::Time time,
+                   std::uint32_t attempt = 0) {
+  return ProtocolEvent{.kind = kind,
+                       .self = self,
+                       .peer = peer,
+                       .attempt = attempt,
+                       .time = time};
+}
+
+TEST(ConnectionTimeline, ClientHandshakeProducesIntervalsAndHandshake) {
+  MetricsRegistry reg;
+  ConnectionTimeline timeline(&reg);
+  timeline.on_event(phase_change(0, 1, PeerPhase::kIdle,
+                                 PeerPhase::kRequesting, PeerRole::kClient,
+                                 100));
+  timeline.on_event(note(ProtocolEvent::Kind::kRetransmit, 0, 1, 200, 1));
+  timeline.on_event(phase_change(0, 1, PeerPhase::kRequesting,
+                                 PeerPhase::kEstablishing, PeerRole::kClient,
+                                 300));
+  timeline.on_event(note(ProtocolEvent::Kind::kQpBound, 0, 1, 310));
+  timeline.on_event(phase_change(0, 1, PeerPhase::kEstablishing,
+                                 PeerPhase::kConnected, PeerRole::kClient,
+                                 400));
+  timeline.finish(1000);
+
+  ASSERT_EQ(timeline.intervals().size(), 3u);
+  const auto& req = timeline.intervals()[0];
+  EXPECT_EQ(req.phase, PeerPhase::kRequesting);
+  EXPECT_EQ(req.start, 100u);
+  EXPECT_EQ(req.end, 300u);
+  EXPECT_TRUE(req.closed);
+  const auto& est = timeline.intervals()[1];
+  EXPECT_EQ(est.phase, PeerPhase::kEstablishing);
+  EXPECT_EQ(est.start, 300u);
+  EXPECT_EQ(est.end, 400u);
+  const auto& conn = timeline.intervals()[2];
+  EXPECT_EQ(conn.phase, PeerPhase::kConnected);
+  EXPECT_EQ(conn.start, 400u);
+  EXPECT_EQ(conn.end, 1000u);
+  EXPECT_FALSE(conn.closed);  // still connected when the run ended
+
+  ASSERT_EQ(timeline.handshakes().size(), 1u);
+  const auto& hs = timeline.handshakes()[0];
+  EXPECT_EQ(hs.self, 0u);
+  EXPECT_EQ(hs.peer, 1u);
+  EXPECT_EQ(hs.role, PeerRole::kClient);
+  EXPECT_TRUE(hs.complete);
+  EXPECT_EQ(hs.start, 100u);
+  EXPECT_EQ(hs.established, 400u);
+  EXPECT_EQ(hs.retransmits, 1u);
+  ASSERT_EQ(hs.annotations.size(), 2u);
+  EXPECT_EQ(hs.annotations[0].kind, ProtocolEvent::Kind::kRetransmit);
+  EXPECT_EQ(hs.annotations[0].attempt, 1u);
+  EXPECT_EQ(hs.annotations[1].kind, ProtocolEvent::Kind::kQpBound);
+
+  EXPECT_EQ(reg.counter("conn/handshakes_completed"), 1);
+  EXPECT_EQ(reg.counter("conn/retransmits"), 1);
+  EXPECT_EQ(reg.counter("conn/qp_bound"), 1);
+  ASSERT_NE(reg.histogram("conn/handshake_time"), nullptr);
+  EXPECT_EQ(reg.histogram("conn/handshake_time")->sum(), 300u);
+}
+
+TEST(ConnectionTimeline, CollisionAndHeldRequestAnnotations) {
+  MetricsRegistry reg;
+  ConnectionTimeline timeline(&reg);
+  // Server side: request held, then a collision absorbed while requesting.
+  timeline.on_event(note(ProtocolEvent::Kind::kRequestHeld, 2, 3, 50));
+  timeline.on_event(phase_change(2, 3, PeerPhase::kIdle,
+                                 PeerPhase::kRequesting, PeerRole::kClient,
+                                 60));
+  timeline.on_event(note(ProtocolEvent::Kind::kCollision, 2, 3, 70));
+  timeline.on_event(phase_change(2, 3, PeerPhase::kRequesting,
+                                 PeerPhase::kEstablishing, PeerRole::kServer,
+                                 80));
+  timeline.on_event(note(ProtocolEvent::Kind::kReplyResend, 2, 3, 90));
+  timeline.on_event(phase_change(2, 3, PeerPhase::kEstablishing,
+                                 PeerPhase::kConnected, PeerRole::kServer,
+                                 100));
+  timeline.finish(200);
+
+  ASSERT_EQ(timeline.handshakes().size(), 1u);
+  const auto& hs = timeline.handshakes()[0];
+  EXPECT_EQ(hs.collisions, 1u);
+  EXPECT_EQ(hs.reply_resends, 1u);
+  EXPECT_TRUE(hs.complete);
+  // The final role is the one the connection was created with.
+  EXPECT_EQ(hs.role, PeerRole::kServer);
+  EXPECT_EQ(reg.counter("conn/collisions"), 1);
+  EXPECT_EQ(reg.counter("conn/reply_resends"), 1);
+  EXPECT_EQ(reg.counter("conn/requests_held"), 1);
+}
+
+TEST(ConnectionTimeline, IncompleteHandshakeStaysOpen) {
+  ConnectionTimeline timeline;
+  timeline.on_event(phase_change(1, 2, PeerPhase::kIdle,
+                                 PeerPhase::kRequesting, PeerRole::kClient,
+                                 10));
+  timeline.finish(500);
+  ASSERT_EQ(timeline.handshakes().size(), 1u);
+  EXPECT_FALSE(timeline.handshakes()[0].complete);
+  ASSERT_EQ(timeline.intervals().size(), 1u);
+  EXPECT_FALSE(timeline.intervals()[0].closed);
+  EXPECT_EQ(timeline.intervals()[0].end, 500u);
+}
+
+TEST(ConnectionTimeline, DrainingReconnectOpensSecondHandshake) {
+  ConnectionTimeline timeline;
+  timeline.on_event(phase_change(0, 1, PeerPhase::kIdle,
+                                 PeerPhase::kEstablishing, PeerRole::kServer,
+                                 10));
+  timeline.on_event(phase_change(0, 1, PeerPhase::kEstablishing,
+                                 PeerPhase::kConnected, PeerRole::kServer,
+                                 20));
+  timeline.on_event(phase_change(0, 1, PeerPhase::kConnected,
+                                 PeerPhase::kDraining, PeerRole::kServer,
+                                 30));
+  // Peer's new request doubles as the drain ack: a fresh establishment.
+  timeline.on_event(phase_change(0, 1, PeerPhase::kDraining,
+                                 PeerPhase::kEstablishing, PeerRole::kServer,
+                                 40));
+  timeline.on_event(phase_change(0, 1, PeerPhase::kEstablishing,
+                                 PeerPhase::kConnected, PeerRole::kServer,
+                                 50));
+  timeline.finish(100);
+  ASSERT_EQ(timeline.handshakes().size(), 2u);
+  EXPECT_TRUE(timeline.handshakes()[0].complete);
+  EXPECT_TRUE(timeline.handshakes()[1].complete);
+  EXPECT_EQ(timeline.handshakes()[1].start, 40u);
+  EXPECT_EQ(timeline.handshakes()[1].established, 50u);
+}
+
+TEST(ConnectionTimeline, PairsAreIndependent) {
+  ConnectionTimeline timeline;
+  timeline.on_event(phase_change(0, 1, PeerPhase::kIdle,
+                                 PeerPhase::kRequesting, PeerRole::kClient,
+                                 10));
+  timeline.on_event(phase_change(1, 0, PeerPhase::kIdle,
+                                 PeerPhase::kEstablishing, PeerRole::kServer,
+                                 15));
+  timeline.on_event(note(ProtocolEvent::Kind::kRetransmit, 0, 1, 20, 1));
+  timeline.finish(100);
+  ASSERT_EQ(timeline.handshakes().size(), 2u);
+  // The retransmit annotated 0→1, not 1→0.
+  EXPECT_EQ(timeline.handshakes()[0].retransmits, 1u);
+  EXPECT_EQ(timeline.handshakes()[1].retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace odcm::telemetry
