@@ -126,6 +126,67 @@ void BM_OnDemandHandshake(benchmark::State& state) {
 }
 BENCHMARK(BM_OnDemandHandshake);
 
+void BM_ConnectUnderCapPressure(benchmark::State& state) {
+  // Host cost of a rank-0 sweep over N-1 peers with a small connection
+  // cap: nearly every establishment evicts an older connection, so this
+  // exercises victim selection, drain/reconnect, and retired-QP
+  // reclamation. Host time should scale ~linearly in N; the pre-LRU
+  // implementation was quadratic (a full peer scan per eviction).
+  const auto ranks = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    core::JobConfig config;
+    config.ranks = ranks;
+    config.ranks_per_node = ranks;
+    config.conduit = core::proposed_design();
+    config.conduit.max_active_connections = 64;
+    core::ConduitJob job(engine, config);
+    job.spawn_all([](core::Conduit& c) -> sim::Task<> {
+      c.register_handler(20,
+                         [](core::RankId, std::vector<std::byte>)
+                             -> sim::Task<> { co_return; });
+      co_await c.init();
+      if (c.rank() == 0) {
+        for (core::RankId peer = 1; peer < c.size(); ++peer) {
+          co_await c.am_send(peer, 20, std::vector<std::byte>(8));
+        }
+      }
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * (ranks - 1));
+}
+BENCHMARK(BM_ConnectUnderCapPressure)->Arg(256)->Arg(2048);
+
+void BM_AmDispatch(benchmark::State& state) {
+  // Host cost of the AM fast path (send + dispatch) over one established
+  // connection: flat handler/peer lookup and buffer-consuming decode.
+  constexpr int kMessages = 512;
+  for (auto _ : state) {
+    sim::Engine engine;
+    core::JobConfig config;
+    config.ranks = 2;
+    config.ranks_per_node = 1;
+    config.conduit = core::proposed_design();
+    core::ConduitJob job(engine, config);
+    job.spawn_all([](core::Conduit& c) -> sim::Task<> {
+      c.register_handler(20,
+                         [](core::RankId, std::vector<std::byte>)
+                             -> sim::Task<> { co_return; });
+      co_await c.init();
+      if (c.rank() == 0) {
+        for (int i = 0; i < kMessages; ++i) {
+          co_await c.am_send(1, 20, std::vector<std::byte>(32));
+        }
+      }
+      co_await c.barrier_global();
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+BENCHMARK(BM_AmDispatch);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -26,6 +26,8 @@ ctest --test-dir "${prefix}" --output-on-failure -L torture
   --json "${prefix}/bench-artifacts/CHECK_sweep.json"
 
 echo "==> archiving bench artifacts"
+# Includes BENCH_*.json (schema-checked, deterministic), CHECK_sweep.json,
+# and the MICRO_*.json hot-path microbench output from the perf-smoke label.
 tar -czf "${prefix}/bench-artifacts.tar.gz" -C "${prefix}" bench-artifacts
 ls -l "${prefix}/bench-artifacts.tar.gz"
 

@@ -17,7 +17,8 @@ bool legal_transition(PeerPhase from, PeerPhase to, PeerRole role) {
              // Only the static connector may skip the handshake entirely.
              (to == PeerPhase::kConnected && role == PeerRole::kStatic);
     case PeerPhase::kRequesting:
-      return to == PeerPhase::kEstablishing;
+      // kIdle: the client exhausted its retries and failed the handshake.
+      return to == PeerPhase::kEstablishing || to == PeerPhase::kIdle;
     case PeerPhase::kEstablishing:
       return to == PeerPhase::kConnected;
     case PeerPhase::kConnected:
@@ -42,6 +43,9 @@ std::string InvariantChecker::format(const ProtocolEvent& event) {
       break;
     case ProtocolEvent::Kind::kRetransmit:
       out << "retransmit attempt=" << event.attempt;
+      break;
+    case ProtocolEvent::Kind::kConnectFailed:
+      out << "connect-failed attempts=" << event.attempt;
       break;
     case ProtocolEvent::Kind::kReplyResend: out << "reply-resend"; break;
     case ProtocolEvent::Kind::kCollision: out << "collision"; break;
@@ -133,6 +137,15 @@ void InvariantChecker::on_event(const ProtocolEvent& event) {
         fail(event, "retransmit while not in Requesting");
       }
       pair.last_attempt = event.attempt;
+      break;
+    case ProtocolEvent::Kind::kConnectFailed:
+      if (pair.phase != PeerPhase::kRequesting) {
+        fail(event, "connect failure reported while not in Requesting");
+      }
+      if (event.attempt <= options_.max_retries) {
+        fail(event, "connect failure reported before the retry budget "
+                    "was exhausted");
+      }
       break;
     case ProtocolEvent::Kind::kReplyResend:
       if (pair.phase != PeerPhase::kConnected ||

@@ -94,7 +94,7 @@ sim::Task<> Conduit::finalize() {
   const fabric::FabricConfig& fcfg = job_.fabric().config();
   if (bulk_connected_) {
     std::uint64_t materialized = 0;
-    for (const auto& [rank, peer] : peers_) {
+    for (const Peer& peer : peer_slots_) {
       if (peer.qp != nullptr) ++materialized;
     }
     // Aggregate teardown cost of the never-materialized bulk connections,
@@ -103,7 +103,9 @@ sim::Task<> Conduit::finalize() {
         (bulk_endpoints_ - materialized) * fcfg.qp_destroy_cost);
     co_await engine().delay(done - engine().now());
   }
-  for (auto& [rank, peer] : peers_) {
+  for (RankId rank = 0; rank < peer_slot_.size(); ++rank) {
+    if (peer_slot_[rank] == kNoPeerSlot) continue;
+    Peer& peer = peer_slots_[peer_slot_[rank]];
     if (peer.qp != nullptr) {
       co_await hca().destroy_qp(peer.qp->qpn());
       peer.qp = nullptr;
@@ -143,7 +145,7 @@ sim::Task<> Conduit::ud_listener() {
     auto gram = co_await ud_qp_->ud_recv().pop_or_closed();
     if (!gram) break;
     co_await engine().delay(config().am_handler_overhead);
-    ConnectPacket packet = ConnectPacket::decode(gram->payload);
+    ConnectPacket packet = ConnectPacket::decode(*gram->payload);
     fabric::EndpointAddr reply_to{gram->src_lid, gram->src_qpn};
     if (packet.type == UdMsgType::kConnectRequest) {
       handle_conn_request(std::move(packet), reply_to);
@@ -160,12 +162,15 @@ sim::Task<> Conduit::srq_listener() {
     auto message = co_await srq.pop_or_closed();
     if (!message) break;
     co_await engine().delay(config().am_handler_overhead);
-    co_await dispatch_am(AmPacket::decode(message->payload));
+    // Consume the delivered buffer in place: the AM payload reuses it
+    // instead of being copied out (fast-path allocation churn).
+    co_await dispatch_am(AmPacket::decode_consume(std::move(message->payload)),
+                         message->src_qpn);
   }
   listeners_done_->finish();
 }
 
-sim::Task<> Conduit::dispatch_am(AmPacket packet) {
+sim::Task<> Conduit::dispatch_am(AmPacket packet, fabric::Qpn src_qpn) {
   stats_.add("am_received");
   switch (packet.handler) {
     case 0: {  // barrier arrive
@@ -179,7 +184,7 @@ sim::Task<> Conduit::dispatch_am(AmPacket packet) {
       co_return;
     }
     case 2:  // disconnect notice (adaptive connection management)
-      handle_disconnect_notice(packet.src_rank);
+      handle_disconnect_notice(packet.src_rank, src_qpn);
       co_return;
     case 3:  // disconnect ack
       handle_disconnect_ack(packet.src_rank);
@@ -196,14 +201,14 @@ sim::Task<> Conduit::dispatch_am(AmPacket packet) {
     default:
       break;
   }
-  auto it = handlers_.find(packet.handler);
-  if (it == handlers_.end()) {
+  if (packet.handler >= handlers_.size() || !handlers_[packet.handler]) {
     throw std::runtime_error("Conduit: AM for unregistered handler " +
                              std::to_string(packet.handler));
   }
   // User handlers run as their own tasks so a handler that suspends cannot
   // stall the progress loop.
-  engine().spawn(it->second(packet.src_rank, std::move(packet.payload)));
+  engine().spawn(
+      handlers_[packet.handler](packet.src_rank, std::move(packet.payload)));
 }
 
 // ---- active messages ----
@@ -212,9 +217,13 @@ void Conduit::register_handler(std::uint16_t id, AmHandler handler) {
   if (id < kFirstUserHandler) {
     throw std::logic_error("Conduit::register_handler: id reserved");
   }
-  if (!handlers_.emplace(id, std::move(handler)).second) {
+  if (id >= handlers_.size()) {
+    handlers_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  if (handlers_[id]) {
     throw std::logic_error("Conduit::register_handler: duplicate id");
   }
+  handlers_[id] = std::move(handler);
 }
 
 sim::Task<> Conduit::am_send(RankId dst, std::uint16_t handler,
@@ -236,7 +245,13 @@ sim::Task<fabric::QueuePair*> Conduit::connected_qp(RankId dst) {
   }
   co_await ensure_connected(dst);
   Peer& p = peer(dst);
-  p.last_used = engine().now();  // LRU clock for adaptive eviction
+  // Touch the LRU clock; the list keeps its (last_used, rank) order so
+  // victim selection stays O(1).
+  if (p.in_lru) {
+    lru_.touch(p, engine().now());
+  } else {
+    p.last_used = engine().now();
+  }
   co_return p.qp;
 }
 
@@ -373,27 +388,42 @@ sim::Task<fabric::EndpointAddr> Conduit::resolve_ud(RankId dst) {
 
 // ---- accounting ----
 
-Conduit::Peer& Conduit::peer(RankId rank) { return peers_[rank]; }
+Conduit::Peer& Conduit::peer(RankId rank) {
+  if (peer_slot_.empty()) {
+    peer_slot_.assign(size(), kNoPeerSlot);
+  }
+  std::uint32_t& slot = peer_slot_[rank];
+  if (slot == kNoPeerSlot) {
+    slot = static_cast<std::uint32_t>(peer_slots_.size());
+    Peer& p = peer_slots_.emplace_back();
+    p.rank = rank;
+    return p;
+  }
+  return peer_slots_[slot];
+}
+
+const Conduit::Peer* Conduit::find_peer(RankId rank) const noexcept {
+  if (rank >= peer_slot_.size() || peer_slot_[rank] == kNoPeerSlot) {
+    return nullptr;
+  }
+  return &peer_slots_[peer_slot_[rank]];
+}
 
 std::uint64_t Conduit::connected_peer_count() const {
   if (bulk_connected_) {
     return size();
   }
-  std::uint64_t count = 0;
-  for (const auto& [rank, peer] : peers_) {
-    if (peer.phase == Peer::Phase::kConnected) ++count;
-  }
-  return count;
+  return connected_count_;
 }
 
 PeerPhase Conduit::peer_phase(RankId rank) const {
-  auto it = peers_.find(rank);
-  return it == peers_.end() ? PeerPhase::kIdle : it->second.phase;
+  const Peer* p = find_peer(rank);
+  return p == nullptr ? PeerPhase::kIdle : p->phase;
 }
 
 PeerRole Conduit::peer_role(RankId rank) const {
-  auto it = peers_.find(rank);
-  return it == peers_.end() ? PeerRole::kNone : it->second.role;
+  const Peer* p = find_peer(rank);
+  return p == nullptr ? PeerRole::kNone : p->role;
 }
 
 std::uint64_t Conduit::endpoints_created() const {

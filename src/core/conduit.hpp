@@ -26,16 +26,17 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/lru.hpp"
 #include "core/observer.hpp"
 #include "core/wire.hpp"
 #include "fabric/fabric.hpp"
@@ -161,6 +162,11 @@ class Conduit {
   /// Connection phase / role toward `rank` (diagnostics and checkers).
   [[nodiscard]] PeerPhase peer_phase(RankId rank) const;
   [[nodiscard]] PeerRole peer_role(RankId rank) const;
+  /// Evicted-but-not-yet-destroyed QPs currently parked (diagnostics; under
+  /// eviction churn this stays bounded because drain resolution reclaims).
+  [[nodiscard]] std::size_t retired_qp_count() const noexcept {
+    return retired_qps_.size();
+  }
 
  private:
   friend class ConduitJob;
@@ -170,20 +176,50 @@ class Conduit {
     // the enums live in observer.hpp so protocol observers can see them.
     using Role = PeerRole;
     using Phase = PeerPhase;
+    RankId rank = 0;  // dense key; set once when the slot is created
     Role role = Role::kNone;
     Phase phase = Phase::kIdle;
     fabric::QueuePair* qp = nullptr;
     std::unique_ptr<sim::Gate> established{};
-    std::unique_ptr<sim::Gate> drained{};   // opened when the drain acks
-    std::vector<std::byte> cached_reply{};  // server: resent on dup request
-    fabric::EndpointAddr reply_to{};        // client's UD endpoint
-    sim::Time last_used = 0;                // LRU clock for eviction
+    std::unique_ptr<sim::Gate> drained{};  // opened when the drain acks
+    fabric::UdPayload cached_reply{};      // server: resent on dup request
+    fabric::EndpointAddr reply_to{};       // client's UD endpoint
+    sim::Time last_used = 0;               // LRU clock for eviction
     /// The peer sent a disconnect notice while our side of the handshake
-    /// was still completing; honor it as soon as we reach kConnected.
+    /// was still completing; honor it as soon as we reach kConnected —
+    /// but only if the connection we end up with is the one the notice
+    /// named (`drain_notice_qpn` is the peer QP the notice was sent
+    /// from). If the handshake instead completes a *newer* epoch (the
+    /// peer served our retransmitted request after its drain resolved),
+    /// the notice is stale and must be dropped, or we would tear down a
+    /// live connection and desynchronize the two sides for good.
     bool remote_drain_pending = false;
+    fabric::Qpn drain_notice_qpn = 0;
+    /// Bumped every time ensure_connected spawns a client_connect for
+    /// this slot. The coroutine re-checks it after every suspension: if
+    /// the slot was taken over, torn down, and re-initiated while the
+    /// coroutine slept (long backoff windows make this real), the stale
+    /// coroutine must stand down instead of double-driving the slot.
+    std::uint32_t connect_serial = 0;
+    /// Most recently retired (evicted, not yet destroyed) QP of this slot;
+    /// reclaimed when the drain resolves (see `reclaim_retired`).
+    fabric::QueuePair* retired_qp = nullptr;
+    /// Bumped when a client handshake fails after exhausting its retry
+    /// budget; waiters parked in `ensure_connected` compare epochs across
+    /// their wait and rethrow `fail_reason` (the slot itself returns to
+    /// kIdle so a later attempt can retry).
+    std::uint32_t fail_epoch = 0;
+    std::string fail_reason{};
+    // Intrusive (last_used, rank)-ordered list of kConnected peers; the
+    // head is the eviction victim (core/lru.hpp).
+    Peer* lru_prev = nullptr;
+    Peer* lru_next = nullptr;
+    bool in_lru = false;
   };
 
   Peer& peer(RankId rank);
+  /// The peer slot for `rank`, or nullptr if never touched (const paths).
+  [[nodiscard]] const Peer* find_peer(RankId rank) const noexcept;
 
   /// Record a connection-protocol trace event (no-op unless the job tracer
   /// is enabled).
@@ -202,7 +238,7 @@ class Conduit {
 
   // Connection protocol.
   [[nodiscard]] sim::Task<> ensure_connected(RankId dst);
-  sim::Task<> client_connect(RankId dst);
+  sim::Task<> client_connect(RankId dst, std::uint32_t serial);
   sim::Task<> self_connect();
   void handle_conn_request(ConnectPacket packet,
                            fabric::EndpointAddr reply_to);
@@ -226,12 +262,29 @@ class Conduit {
   };
 
   // Adaptive connection management (eviction).
-  [[nodiscard]] std::uint64_t active_connection_count() const;
+  [[nodiscard]] std::uint64_t active_connection_count() const {
+    return connected_count_;
+  }
   void maybe_evict(RankId just_connected);
   sim::Task<> evict_connection(RankId victim);
   void retire_qp(RankId rank, Peer& peer);
-  void handle_disconnect_notice(RankId src);
+  /// Destroy the slot's retired QP once its work queue drains (called at
+  /// the drain-resolution points, so `retired_qps_` stays bounded under
+  /// eviction churn instead of growing until finalize).
+  void reclaim_retired(Peer& peer);
+#ifndef NDEBUG
+  /// Reference implementation of victim selection (the historical O(N)
+  /// scan); the LRU list must agree with it on every eviction.
+  [[nodiscard]] Peer* debug_reference_victim(RankId just_connected);
+#endif
+  /// `notice_qpn` is the peer QP the notice arrived from; it identifies
+  /// the connection epoch being drained (QPNs are never reused) so stale
+  /// notices from an already-resolved epoch can be discarded.
+  void handle_disconnect_notice(RankId src, fabric::Qpn notice_qpn);
   void handle_disconnect_ack(RankId src);
+  /// The peer-side QPN of the epoch this slot currently holds: the live
+  /// QP's remote if bound, else the retired (draining) QP's remote.
+  [[nodiscard]] static fabric::Qpn current_remote_qpn(const Peer& p);
   /// Retire our side and ack the peer's eviction notice.
   void perform_passive_drain(RankId src);
   /// Post-establishment bookkeeping shared by client/server completion:
@@ -245,7 +298,10 @@ class Conduit {
   fabric::QueuePair* materialize_bulk(RankId dst);
 
   // AM dispatch.
-  sim::Task<> dispatch_am(AmPacket packet);
+  /// `src_qpn` is the sender-side QP the message arrived from (0 for
+  /// paths that do not track it); the disconnect-notice handler uses it
+  /// to tell connection epochs apart.
+  sim::Task<> dispatch_am(AmPacket packet, fabric::Qpn src_qpn);
   void handle_barrier_arrive(RankId src, std::uint32_t round);
   void handle_barrier_release(std::uint32_t round);
 
@@ -265,11 +321,32 @@ class Conduit {
   bool finalized_ = false;
 
   fabric::QueuePair* ud_qp_ = nullptr;
-  // std::map: stable references across inserts AND deterministic iteration
-  // order (finalize tears connections down in rank order).
-  std::map<RankId, Peer> peers_{};
+  // Flat indexed peer storage: `peer_slot_` maps a dense RankId to an index
+  // into `peer_slots_` (a deque, so references stay stable across inserts —
+  // `Peer&` is held across co_await throughout the protocol code).
+  // Deterministic rank-order iteration goes through the index (see
+  // `for_each_peer`); the hot path is one vector load + one deque index
+  // instead of a std::map walk.
+  static constexpr std::uint32_t kNoPeerSlot = 0xffffffffu;
+  std::vector<std::uint32_t> peer_slot_{};
+  std::deque<Peer> peer_slots_{};
+  /// Exact count of kConnected peers, maintained by `set_phase`.
+  std::uint64_t connected_count_ = 0;
+  /// Connected peers ordered by (last_used, rank): O(1) victim selection.
+  LruList<Peer> lru_{};
   bool bulk_connected_ = false;  // static bulk model in effect
   std::uint64_t bulk_endpoints_ = 0;
+
+  /// Visit every touched peer slot in ascending rank order (deterministic;
+  /// finalize tears connections down in rank order).
+  template <typename F>
+  void for_each_peer(F&& f) {
+    for (RankId r = 0; r < peer_slot_.size(); ++r) {
+      if (peer_slot_[r] != kNoPeerSlot) {
+        f(r, peer_slots_[peer_slot_[r]]);
+      }
+    }
+  }
 
   PayloadProvider payload_provider_{};
   PayloadConsumer payload_consumer_{};
@@ -282,10 +359,13 @@ class Conduit {
   bool ud_resolving_ = false;
   std::unique_ptr<sim::Mailbox<RingEntry>> ring_entries_{};
 
-  std::map<std::uint16_t, AmHandler> handlers_{};
+  // Flat handler table indexed by handler id (ids are small and dense);
+  // dispatch is a bounds check + vector load instead of a map lookup.
+  std::vector<AmHandler> handlers_{};
   // QPs of evicted connections: kept alive (deactivated) so in-flight
-  // traffic stays safe, destroyed at finalize. Mirrors how real runtimes
-  // defer QP destruction out of the critical path.
+  // traffic stays safe. Normally reclaimed when the drain resolves
+  // (`reclaim_retired`); anything still here at finalize is destroyed
+  // then as a backstop.
   std::vector<fabric::QueuePair*> retired_qps_{};
   std::uint32_t barrier_next_round_ = 0;
   std::map<std::uint32_t, std::unique_ptr<BarrierRound>> barrier_rounds_{};

@@ -45,8 +45,12 @@ struct ConduitConfig {
   BarrierMode init_barrier_mode = BarrierMode::kIntraNode;
 
   /// Client-side retransmission timeout for connection requests sent over
-  /// the unreliable datagram transport, and the retry budget.
+  /// the unreliable datagram transport, and the retry budget. The timeout
+  /// doubles per attempt up to `conn_rto_max` with deterministic
+  /// per-(src, dst, attempt) jitter (see core/backoff.hpp), so colliding
+  /// clients never retransmit in lockstep.
   sim::Time conn_rto = 500 * sim::usec;
+  sim::Time conn_rto_max = 8 * sim::msec;
   std::uint32_t conn_max_retries = 64;
 
   /// Fan-out of the AM-tree global barrier. Matches the reduction-tree

@@ -1,9 +1,11 @@
 // Connection establishment: the on-demand two-phase UD handshake (Fig. 4)
 // with retransmission, duplicate suppression and collision resolution, plus
 // the baseline static all-to-all connector and its bulk aggregate model.
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "core/backoff.hpp"
 #include "core/conduit.hpp"
 
 namespace odcm::core {
@@ -36,6 +38,20 @@ void Conduit::set_phase(RankId peer_rank, Peer& p, PeerPhase next) {
     event.time = engine().now();
     if (job_.observer_ != nullptr) job_.observer_->on_event(event);
     for (ProtocolObserver* obs : job_.extra_observers_) obs->on_event(event);
+  }
+  // This is the single phase-mutation funnel, so the exact connected count
+  // and the (last_used, rank) LRU list are maintained here. A freshly
+  // established connection is stamped "used now" on BOTH the client and
+  // server paths: an unstamped (last_used == 0) server-side connection
+  // used to be the immediate eviction victim ahead of genuinely idle
+  // peers.
+  if (next == Peer::Phase::kConnected) {
+    ++connected_count_;
+    p.last_used = engine().now();
+    lru_.insert(p);
+  } else if (p.phase == Peer::Phase::kConnected) {
+    --connected_count_;
+    lru_.remove(p);
   }
   p.phase = next;
 }
@@ -80,9 +96,16 @@ sim::Task<> Conduit::ensure_connected(RankId dst) {
     if (p.phase == Peer::Phase::kIdle) {
       p.role = Peer::Role::kClient;
       set_phase(dst, p, Peer::Phase::kRequesting);
-      engine().spawn(client_connect(dst));
+      engine().spawn(client_connect(dst, ++p.connect_serial));
     }
+    // A failed handshake (retry budget exhausted) bumps the slot's fail
+    // epoch and opens the gate so no waiter is stranded; every waiter that
+    // crossed the failure observes it here and rethrows.
+    const std::uint32_t epoch = p.fail_epoch;
     co_await p.established->wait();
+    if (p.fail_epoch != epoch) {
+      throw std::runtime_error(p.fail_reason);
+    }
   }
 }
 
@@ -115,24 +138,26 @@ sim::Task<> Conduit::self_connect() {
   maybe_evict(rank_);  // self connections have no drain protocol
 }
 
-sim::Task<> Conduit::client_connect(RankId dst) {
+sim::Task<> Conduit::client_connect(RankId dst, std::uint32_t serial) {
   Peer& p = peer(dst);
   stats_.add("conn_requests_initiated");
   trace("conn.initiate", "to " + std::to_string(dst));
   fabric::EndpointAddr peer_ud = co_await resolve_ud(dst);
-  if (p.phase != Peer::Phase::kRequesting) {
-    // A collision takeover (we became the server) happened while we were
-    // resolving; the server path finishes the connection.
-    co_await p.established->wait();
+  if (p.connect_serial != serial || p.phase != Peer::Phase::kRequesting) {
+    // Superseded while resolving: a collision takeover made us the server,
+    // or the slot went through a whole establish/evict cycle and a newer
+    // client_connect owns it now. Either way the active path finishes the
+    // connection; waiting on the established gate here is wrong — after a
+    // full cycle the gate object may already have been torn down.
     co_return;
   }
   fabric::QueuePair* qp =
       co_await hca().create_qp(fabric::QpType::kRc, rank_);
   stats_.add("qp_created_rc");
   co_await qp->transition(fabric::QpState::kInit);
-  if (p.phase != Peer::Phase::kRequesting) {
+  if (p.connect_serial != serial || p.phase != Peer::Phase::kRequesting) {
+    // Our QP is not yet bound to the slot, so nobody else can reference it.
     co_await hca().destroy_qp(qp->qpn());
-    co_await p.established->wait();
     co_return;
   }
   p.qp = qp;
@@ -145,19 +170,46 @@ sim::Task<> Conduit::client_connect(RankId dst) {
   if (payload_provider_) {
     request.payload = payload_provider_();
   }
-  std::vector<std::byte> encoded = request.encode();
+  // Encoded once, shared across every retransmission (and with every
+  // delivered copy of the datagram) instead of re-copied per attempt.
+  fabric::UdPayload encoded = request.encode_shared();
 
   std::uint32_t attempts = 0;
   while (p.phase != Peer::Phase::kConnected) {
+    if (p.connect_serial != serial) {
+      // Superseded mid-retry: the slot completed a full lifecycle while we
+      // slept in a backoff window and a newer epoch drives it now. The QP
+      // we bound was either reused by a takeover or retired with that
+      // epoch — not ours to touch anymore.
+      co_return;
+    }
     if (p.phase == Peer::Phase::kEstablishing) {
-      // Reply arrived (or a collision takeover is completing).
-      co_await p.established->wait();
-      break;
+      co_return;  // reply arrived (or a takeover is completing); done here
     }
     if (attempts > config().conn_max_retries) {
-      throw std::runtime_error(
-          "Conduit: connection retries exceeded to rank " +
-          std::to_string(dst));
+      // Retry budget exhausted: fail the handshake cleanly instead of
+      // letting the exception escape this detached root task, which would
+      // leave the established gate closed and strand every waiter parked
+      // in ensure_connected. The slot returns to kIdle (a later call may
+      // retry from scratch); waiters observe the epoch bump across their
+      // wait and rethrow fail_reason.
+      stats_.add("conn_failures");
+      trace("conn.fail", "to " + std::to_string(dst) + " after " +
+                             std::to_string(attempts) + " attempts");
+      notify({.kind = ProtocolEvent::Kind::kConnectFailed,
+              .peer = dst,
+              .attempt = attempts});
+      fabric::QueuePair* failed_qp = p.qp;
+      p.qp = nullptr;
+      notify({.kind = ProtocolEvent::Kind::kQpUnbound, .peer = dst});
+      p.role = Peer::Role::kNone;
+      ++p.fail_epoch;
+      p.fail_reason = "Conduit: connection retries exceeded to rank " +
+                      std::to_string(dst);
+      set_phase(dst, p, Peer::Phase::kIdle);
+      open_established(engine(), p);
+      co_await hca().destroy_qp(failed_qp->qpn());
+      co_return;
     }
     if (attempts > 0) {
       stats_.add("conn_retransmits");
@@ -170,7 +222,11 @@ sim::Task<> Conduit::client_connect(RankId dst) {
     }
     ++attempts;
     (void)co_await ud_qp_->send_ud(peer_ud.lid, peer_ud.qpn, encoded);
-    bool opened = co_await p.established->wait_for(config().conn_rto);
+    // Exponential backoff with deterministic per-(src, dst, attempt)
+    // jitter: colliding clients spread out instead of retransmitting in
+    // lockstep, and the schedule is identical across fabric seeds.
+    bool opened = co_await p.established->wait_for(
+        backoff_rto(config(), rank_, dst, attempts - 1));
     if (opened) break;
   }
 }
@@ -192,7 +248,7 @@ void Conduit::handle_conn_request(ConnectPacket packet,
                                      /*collision=*/false));
         return;
       }
-      if (p.role == Peer::Role::kServer && !p.cached_reply.empty()) {
+      if (p.role == Peer::Role::kServer && p.cached_reply != nullptr) {
         // Our reply was lost and the client retransmitted: resend it.
         stats_.add("conn_reply_resends");
         trace("conn.reply_resend", "to " + std::to_string(src));
@@ -222,8 +278,10 @@ void Conduit::handle_conn_request(ConnectPacket packet,
       // The peer processed our eviction notice and is already
       // re-initiating; its request doubles as the drain ack. Retire the
       // old epoch's QP first (the in-flight notice send keeps it alive in
-      // retired_qps_) so the fresh server-side QP does not leak it.
+      // retired_qps_) so the fresh server-side QP does not leak it, then
+      // reclaim it — the drain is resolved.
       retire_qp(src, p);
+      reclaim_retired(p);
       p.role = Peer::Role::kServer;
       set_phase(src, p, Peer::Phase::kEstablishing);
       if (p.drained) p.drained->open();
@@ -288,7 +346,7 @@ sim::Task<> Conduit::serve_request(RankId src,
   if (payload_provider_) {
     reply.payload = payload_provider_();
   }
-  p.cached_reply = reply.encode();
+  p.cached_reply = reply.encode_shared();
   p.reply_to = reply_to;
   p.role = Peer::Role::kServer;
   set_phase(src, p, Peer::Phase::kConnected);
@@ -334,41 +392,59 @@ sim::Task<> Conduit::finish_client(RankId src,
 void Conduit::after_established(RankId src) {
   Peer& p = peer(src);
   if (p.remote_drain_pending) {
-    // The peer evicted this connection while our handshake was still in
-    // flight; honor the drain now that waiters have been released.
     p.remote_drain_pending = false;
-    perform_passive_drain(src);
-    return;
+    if (p.qp != nullptr && p.qp->remote().qpn == p.drain_notice_qpn) {
+      // The peer evicted this connection while our handshake was still in
+      // flight; honor the drain now that waiters have been released.
+      perform_passive_drain(src);
+      return;
+    }
+    // The handshake completed a newer epoch than the one the notice
+    // named: the peer's drain already resolved (our retransmitted
+    // request doubled as its ack), so the notice is stale — dropping it
+    // keeps both sides on the fresh connection.
+    stats_.add("conn_stale_notices_dropped");
+    trace("conn.stale_notice", "from " + std::to_string(src));
   }
   maybe_evict(src);
 }
 
-std::uint64_t Conduit::active_connection_count() const {
-  std::uint64_t count = 0;
-  for (const auto& [rank, peer] : peers_) {
-    if (peer.phase == Peer::Phase::kConnected) ++count;
-  }
-  return count;
+#ifndef NDEBUG
+Conduit::Peer* Conduit::debug_reference_victim(RankId just_connected) {
+  // The historical full scan: rank-ascending, strictly-smaller last_used
+  // wins — i.e. least last_used with ties broken toward the lowest rank.
+  Peer* victim = nullptr;
+  for_each_peer([&](RankId rank, Peer& candidate) {
+    if (candidate.phase != Peer::Phase::kConnected) return;
+    if (candidate.role == Peer::Role::kStatic) return;
+    if (rank == just_connected) return;
+    if (victim == nullptr || candidate.last_used < victim->last_used) {
+      victim = &candidate;
+    }
+  });
+  return victim;
 }
+#endif
 
 void Conduit::maybe_evict(RankId just_connected) {
   const std::uint32_t cap = config().max_active_connections;
   if (cap == 0 || config().connection_mode != ConnectionMode::kOnDemand) {
     return;
   }
-  while (active_connection_count() > cap) {
-    Peer* victim = nullptr;
-    RankId victim_rank = 0;
-    for (auto& [rank, candidate] : peers_) {
-      if (candidate.phase != Peer::Phase::kConnected) continue;
-      if (candidate.role == Peer::Role::kStatic) continue;
-      if (rank == just_connected) continue;
-      if (victim == nullptr || candidate.last_used < victim->last_used) {
-        victim = &candidate;
-        victim_rank = rank;
-      }
+  while (connected_count_ > cap) {
+    // O(1) victim selection: the LRU list is sorted ascending by
+    // (last_used, rank), so the first eligible node from the head is
+    // exactly what the historical full scan selected. The skip walk only
+    // ever passes the just-connected peer and (in mixed setups) static
+    // peers, both O(1) amortized.
+    Peer* victim = lru_.front();
+    while (victim != nullptr && (victim->role == Peer::Role::kStatic ||
+                                 victim->rank == just_connected)) {
+      victim = victim->lru_next;
     }
+    assert(victim == debug_reference_victim(just_connected));
     if (victim == nullptr) break;  // nothing evictable
+    RankId victim_rank = victim->rank;
     set_phase(victim_rank, *victim, Peer::Phase::kDraining);
     // Invariant: the established gate is open iff the peer is connected.
     // A stale open gate would make ensure_connected's wait loop spin
@@ -386,14 +462,29 @@ sim::Task<> Conduit::evict_connection(RankId victim) {
   Peer& p = peer(victim);
   fabric::QueuePair* qp = p.qp;
   if (victim == rank_) {
-    // Self connection: no protocol needed.
+    // Self connection: no protocol needed; reclaim immediately.
     retire_qp(victim, p);
     set_phase(victim, p, Peer::Phase::kIdle);
     p.drained->open();
+    reclaim_retired(p);
   } else {
     // Notify the peer over the existing RC connection, then deactivate our
-    // side. The QP object survives (retired) so any in-flight traffic from
-    // the peer stays safe; its HCA context is reclaimed at finalize.
+    // side. The QP object survives (retired) until the drain resolves.
+    //
+    // Why reclaiming at drain resolution is safe for in-flight traffic:
+    // the peer's RC sends resolve our QP at SEND initiation, not at
+    // delivery, and delivery lands in the rank-keyed SRQ, which needs no
+    // QP object. Every drain-resolution trigger — the peer's ack, its
+    // symmetric notice, or its re-request doubling as the ack — is a
+    // message the peer sent *after* it processed our notice and retired
+    // its own side, i.e. after the last send it will ever initiate on
+    // this connection epoch. Our own notice send may itself still be
+    // awaiting its completion, which is why reclaim_retired polls the
+    // work queue empty before destroying. The one pathological
+    // interleaving — the peer's UD re-request overtaking its in-flight RC
+    // ack — leaves that ack to complete with an error at the peer (which
+    // discards it), and a stale ack arriving here in any phase other than
+    // kDraining is ignored by handle_disconnect_ack.
     AmPacket notice{/*handler=*/2, rank_, {}};
     (void)co_await qp->send(notice.encode());
     // While the notice was in flight the drain may already have resolved
@@ -412,12 +503,42 @@ sim::Task<> Conduit::evict_connection(RankId victim) {
 void Conduit::retire_qp(RankId rank, Peer& peer) {
   if (peer.qp != nullptr) {
     retired_qps_.push_back(peer.qp);
+    // Remember the epoch's QP so the drain-resolution path can reclaim it.
+    // If an older retired QP was never reclaimed (it should have been), it
+    // stays in retired_qps_ and the finalize backstop destroys it.
+    peer.retired_qp = peer.qp;
     peer.qp = nullptr;
     notify({.kind = ProtocolEvent::Kind::kQpUnbound, .peer = rank});
   }
   peer.role = Peer::Role::kNone;
-  peer.cached_reply.clear();
+  peer.cached_reply.reset();
   peer.established.reset();
+}
+
+void Conduit::reclaim_retired(Peer& peer) {
+  fabric::QueuePair* qp = peer.retired_qp;
+  if (qp == nullptr) return;
+  peer.retired_qp = nullptr;
+  // Tracked like an eviction so finalize waits for the destroy to finish
+  // instead of racing it with the bulk teardown of retired_qps_.
+  ++pending_evictions_;
+  engine().spawn([](Conduit& c, fabric::QueuePair* qp) -> sim::Task<> {
+    // Our own final sends of the epoch (eviction notice, passive-drain ack)
+    // may still be awaiting their completions on this QP. Wait for the work
+    // queue to empty, then one extra tick so any coroutine resumed by the
+    // last completion runs to its suspension point before the object dies.
+    while (qp->outstanding() != 0) {
+      co_await c.engine().delay(sim::usec);
+    }
+    co_await c.engine().delay(sim::usec);
+    std::erase(c.retired_qps_, qp);
+    co_await c.hca().destroy_qp(qp->qpn());
+    c.stats_.add("qp_retired_reclaimed");
+    --c.pending_evictions_;
+    if (c.pending_evictions_ == 0 && c.evictions_settled_) {
+      c.evictions_settled_->notify_all();
+    }
+  }(*this, qp));
 }
 
 void Conduit::perform_passive_drain(RankId src) {
@@ -429,37 +550,62 @@ void Conduit::perform_passive_drain(RankId src) {
   set_phase(src, p, Peer::Phase::kIdle);
   p.remote_drain_pending = false;
   // Ack over the retired QP (still alive and RTS). Tracked like an
-  // eviction so finalize waits for the send to complete.
+  // eviction so finalize waits for the send to complete. The ack is the
+  // last send of this epoch, so once it completes the QP can be reclaimed.
   ++pending_evictions_;
-  engine().spawn([](Conduit& c, fabric::QueuePair* qp) -> sim::Task<> {
+  engine().spawn([](Conduit& c, RankId src, fabric::QueuePair* qp)
+                     -> sim::Task<> {
     AmPacket ack{/*handler=*/3, c.rank_, {}};
     (void)co_await qp->send(ack.encode());
+    c.reclaim_retired(c.peer(src));
     --c.pending_evictions_;
     if (c.pending_evictions_ == 0 && c.evictions_settled_) {
       c.evictions_settled_->notify_all();
     }
-  }(*this, old));
+  }(*this, src, old));
 }
 
-void Conduit::handle_disconnect_notice(RankId src) {
+fabric::Qpn Conduit::current_remote_qpn(const Peer& p) {
+  if (p.qp != nullptr) return p.qp->remote().qpn;
+  if (p.retired_qp != nullptr) return p.retired_qp->remote().qpn;
+  return 0;
+}
+
+void Conduit::handle_disconnect_notice(RankId src, fabric::Qpn notice_qpn) {
   Peer& p = peer(src);
   switch (p.phase) {
     case Peer::Phase::kConnected:
+      if (current_remote_qpn(p) != notice_qpn) {
+        // Stale notice: it names a peer QP from an earlier connection
+        // epoch whose drain already resolved (e.g. our retransmitted
+        // request doubled as its ack and the peer served us a fresh
+        // connection). Acting on it would tear down the live epoch while
+        // the peer keeps it, desynchronizing the two sides for good.
+        return;
+      }
       perform_passive_drain(src);
       return;
     case Peer::Phase::kDraining:
+      if (current_remote_qpn(p) != notice_qpn) {
+        return;  // stale epoch: not the connection we are draining
+      }
       // Symmetric eviction: both sides evicted concurrently. Our own
       // evict_connection may still be sending its notice; retire the QP
       // here so the peer slot is clean before any reconnect starts.
+      // reclaim_retired waits for that in-flight notice to complete.
       retire_qp(src, p);
       set_phase(src, p, Peer::Phase::kIdle);
       if (p.drained) p.drained->open();
+      reclaim_retired(p);
       return;
     case Peer::Phase::kRequesting:
     case Peer::Phase::kEstablishing:
       // The notice outran our side of the handshake (the evictor finished
-      // first); honor it once the establishment completes.
+      // first); honor it once the establishment completes — if the epoch
+      // we end up establishing is the one the notice named
+      // (after_established checks).
       p.remote_drain_pending = true;
+      p.drain_notice_qpn = notice_qpn;
       return;
     case Peer::Phase::kIdle:
       return;  // stale notice from a previous connection epoch
@@ -472,6 +618,7 @@ void Conduit::handle_disconnect_ack(RankId src) {
     retire_qp(src, p);  // usually a no-op: evict_connection retired it
     set_phase(src, p, Peer::Phase::kIdle);
     if (p.drained) p.drained->open();
+    reclaim_retired(p);
   }
 }
 

@@ -1,0 +1,99 @@
+// Intrusive LRU ordering for the adaptive connection cap.
+//
+// `Conduit::maybe_evict` used to re-scan the whole peer table once per
+// evicted connection — O(N) per eviction, quadratic under sweep traffic.
+// Connected peers are now threaded onto an intrusive doubly-linked list
+// kept sorted ascending by (last_used, rank); the eviction victim is the
+// list head, making victim selection O(1). Insertion walks backward from
+// the tail, which is amortized O(1) because `last_used` stamps come from a
+// nondecreasing virtual clock: a new node can only be passed by entries
+// stamped at the same virtual instant with a greater rank.
+//
+// The (last_used, rank) order reproduces the historical full-scan victim
+// choice exactly: that scan iterated rank-ascending and replaced its
+// candidate only on a strictly smaller `last_used`, i.e. it selected the
+// least `last_used` with ties broken toward the lowest rank. The
+// equivalence is asserted by tests/core/hotpath_test.cpp and, in builds
+// with assertions enabled, re-checked against a reference scan on every
+// eviction.
+#pragma once
+
+#include <cstddef>
+
+namespace odcm::core {
+
+/// Intrusive doubly-linked list sorted ascending by (last_used, rank).
+///
+/// `Node` must expose `Node* lru_prev`, `Node* lru_next`, `bool in_lru`,
+/// a `last_used` timestamp and a `rank` tiebreaker. Nodes must outlive
+/// their membership; the list never allocates.
+template <typename Node>
+class LruList {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Least-recently-used node (the eviction candidate), or nullptr.
+  [[nodiscard]] Node* front() const noexcept { return head_; }
+
+  /// Insert `n` at its sorted position. No-op if already a member.
+  void insert(Node& n) noexcept {
+    if (n.in_lru) return;
+    Node* after = tail_;
+    while (after != nullptr && later_than(*after, n)) after = after->lru_prev;
+    n.lru_prev = after;
+    if (after != nullptr) {
+      n.lru_next = after->lru_next;
+      after->lru_next = &n;
+    } else {
+      n.lru_next = head_;
+      head_ = &n;
+    }
+    if (n.lru_next != nullptr) {
+      n.lru_next->lru_prev = &n;
+    } else {
+      tail_ = &n;
+    }
+    n.in_lru = true;
+    ++size_;
+  }
+
+  /// Unlink `n`. No-op if not a member.
+  void remove(Node& n) noexcept {
+    if (!n.in_lru) return;
+    if (n.lru_prev != nullptr) {
+      n.lru_prev->lru_next = n.lru_next;
+    } else {
+      head_ = n.lru_next;
+    }
+    if (n.lru_next != nullptr) {
+      n.lru_next->lru_prev = n.lru_prev;
+    } else {
+      tail_ = n.lru_prev;
+    }
+    n.lru_prev = nullptr;
+    n.lru_next = nullptr;
+    n.in_lru = false;
+    --size_;
+  }
+
+  /// Re-stamp `n` with a fresh timestamp and restore its sort position
+  /// (amortized O(1) when `now` is the largest stamp issued so far).
+  template <typename Time>
+  void touch(Node& n, Time now) noexcept {
+    remove(n);
+    n.last_used = now;
+    insert(n);
+  }
+
+ private:
+  static bool later_than(const Node& a, const Node& b) noexcept {
+    return a.last_used > b.last_used ||
+           (a.last_used == b.last_used && a.rank > b.rank);
+  }
+
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace odcm::core

@@ -23,6 +23,7 @@ namespace odcm::core {
 ///   kIdle        → kEstablishing (server accepts / self-connect)
 ///   kIdle        → kConnected (static connector only)
 ///   kRequesting  → kEstablishing (reply received / collision takeover)
+///   kRequesting  → kIdle (handshake failed after retry exhaustion)
 ///   kEstablishing→ kConnected
 ///   kConnected   → kDraining (active eviction)
 ///   kConnected   → kIdle (passive drain on peer's notice)
@@ -65,6 +66,7 @@ struct ProtocolEvent {
   enum class Kind : std::uint8_t {
     kPhaseChange,       ///< `from` → `to` (role is the role at that moment).
     kRetransmit,        ///< Client retransmitted; `attempt` is the ordinal.
+    kConnectFailed,     ///< Client gave up; `attempt` is the total attempts.
     kReplyResend,       ///< Server re-sent a cached reply for a dup request.
     kCollision,         ///< Simultaneous connect absorbed at `self`.
     kRequestHeld,       ///< Request held until the upper layer is ready.

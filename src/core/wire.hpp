@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -97,8 +98,10 @@ struct ConnectPacket {
   fabric::EndpointAddr rc_addr{};
   std::vector<std::byte> payload{};
 
-  [[nodiscard]] std::vector<std::byte> encode() const {
-    std::vector<std::byte> out;
+  /// Serialize into `out`, reusing its capacity (hot-path variant: callers
+  /// that encode repeatedly keep one buffer alive instead of allocating).
+  void encode_into(std::vector<std::byte>& out) const {
+    out.clear();
     out.reserve(1 + 4 + 2 + 4 + 4 + payload.size());
     wire::put_u8(out, static_cast<std::uint8_t>(type));
     wire::put_int<std::uint32_t>(out, src_rank);
@@ -107,7 +110,18 @@ struct ConnectPacket {
     wire::put_int<std::uint32_t>(out,
                                  static_cast<std::uint32_t>(payload.size()));
     wire::put_bytes(out, payload);
+  }
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    encode_into(out);
     return out;
+  }
+
+  /// Serialize once into an immutable shared buffer, suitable for reuse
+  /// across UD retransmissions and cached-reply resends.
+  [[nodiscard]] fabric::UdPayload encode_shared() const {
+    return std::make_shared<const std::vector<std::byte>>(encode());
   }
 
   static ConnectPacket decode(std::span<const std::byte> data) {
@@ -131,16 +145,24 @@ struct ConnectPacket {
 
 /// Active message carried over an RC connection.
 struct AmPacket {
+  /// Bytes of header (handler + src_rank) preceding the payload on the wire.
+  static constexpr std::size_t kHeaderSize = 2 + 4;
+
   std::uint16_t handler = 0;
   fabric::RankId src_rank = 0;
   std::vector<std::byte> payload{};
 
-  [[nodiscard]] std::vector<std::byte> encode() const {
-    std::vector<std::byte> out;
-    out.reserve(2 + 4 + payload.size());
+  void encode_into(std::vector<std::byte>& out) const {
+    out.clear();
+    out.reserve(kHeaderSize + payload.size());
     wire::put_int<std::uint16_t>(out, handler);
     wire::put_int<std::uint32_t>(out, src_rank);
     wire::put_bytes(out, payload);
+  }
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    encode_into(out);
     return out;
   }
 
@@ -150,6 +172,19 @@ struct AmPacket {
     packet.handler = reader.read_int<std::uint16_t>();
     packet.src_rank = reader.read_int<std::uint32_t>();
     packet.payload = reader.read_rest();
+    return packet;
+  }
+
+  /// Decode by consuming `data` in place: the payload reuses the delivered
+  /// message buffer (header erased from the front) instead of copying it.
+  static AmPacket decode_consume(std::vector<std::byte>&& data) {
+    wire::Reader reader(data);
+    AmPacket packet;
+    packet.handler = reader.read_int<std::uint16_t>();
+    packet.src_rank = reader.read_int<std::uint32_t>();
+    data.erase(data.begin(),
+               data.begin() + static_cast<std::ptrdiff_t>(kHeaderSize));
+    packet.payload = std::move(data);
     return packet;
   }
 };

@@ -161,6 +161,13 @@ class QueuePair {
                                               std::vector<std::byte> payload,
                                               WrId wr_id = 0);
 
+  /// Same, but with a caller-shared immutable payload: retransmissions and
+  /// duplicated deliveries all reference one buffer instead of copying it
+  /// (the connection manager reuses its encoded request across retries).
+  [[nodiscard]] sim::Task<Completion> send_ud(Lid dlid, Qpn dqpn,
+                                              UdPayload payload,
+                                              WrId wr_id = 0);
+
   /// Receive queue of a UD QP.
   [[nodiscard]] sim::Mailbox<UdDatagram>& ud_recv();
 
@@ -190,8 +197,7 @@ class QueuePair {
                                           std::uint64_t desired, WrId wr_id);
   sim::Task<Completion> swap_impl(VirtAddr raddr, RKey rkey,
                                   std::uint64_t value, WrId wr_id);
-  sim::Task<Completion> send_ud_impl(Lid dlid, Qpn dqpn,
-                                     std::vector<std::byte> payload,
+  sim::Task<Completion> send_ud_impl(Lid dlid, Qpn dqpn, UdPayload payload,
                                      WrId wr_id);
   /// Resolve a remote (raddr, rkey) at the connected peer HCA.
   std::optional<std::span<std::byte>> resolve_remote(VirtAddr raddr, RKey rkey,

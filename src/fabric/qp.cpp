@@ -377,22 +377,32 @@ sim::Task<Completion> QueuePair::swap_impl(VirtAddr raddr, RKey rkey,
 sim::Task<Completion> QueuePair::send_ud(Lid dlid, Qpn dqpn,
                                          std::vector<std::byte> payload,
                                          WrId wr_id) {
+  return send_ud(
+      dlid, dqpn,
+      std::make_shared<const std::vector<std::byte>>(std::move(payload)),
+      wr_id);
+}
+
+sim::Task<Completion> QueuePair::send_ud(Lid dlid, Qpn dqpn, UdPayload payload,
+                                         WrId wr_id) {
   require_type(QpType::kUd, "send_ud");
   require_state(QpState::kRts, "send_ud");
-  if (payload.size() > hca_.fabric().config().mtu) {
+  if (payload == nullptr) {
+    throw std::logic_error("QueuePair::send_ud: null payload");
+  }
+  if (payload->size() > hca_.fabric().config().mtu) {
     throw std::logic_error("QueuePair::send_ud: payload exceeds MTU");
   }
   return send_ud_impl(dlid, dqpn, std::move(payload), wr_id);
 }
 
 sim::Task<Completion> QueuePair::send_ud_impl(Lid dlid, Qpn dqpn,
-                                              std::vector<std::byte> payload,
-                                              WrId wr_id) {
+                                              UdPayload payload, WrId wr_id) {
   ++outstanding_;
   Fabric& fabric = hca_.fabric();
   const FabricConfig& cfg = fabric.config();
   sim::Engine& engine = fabric.engine();
-  const auto byte_len = static_cast<std::uint32_t>(payload.size());
+  const auto byte_len = static_cast<std::uint32_t>(payload->size());
   sim::Time depart = hca_.reserve_injection_slot();
 
   auto deliver = [&fabric, dlid, dqpn](sim::Time at,
@@ -422,7 +432,7 @@ sim::Task<Completion> QueuePair::send_ud_impl(Lid dlid, Qpn dqpn,
     ctx.dst_lid = dlid;
     ctx.src_qpn = qpn_;
     ctx.dst_qpn = dqpn;
-    ctx.payload = payload;
+    ctx.payload = *payload;
     ctx.index = fabric.next_ud_index();
     ctx.now = engine.now();
     fault = fabric.ud_fault_hook()(ctx);
@@ -439,8 +449,10 @@ sim::Task<Completion> QueuePair::send_ud_impl(Lid dlid, Qpn dqpn,
   if (!dropped) {
     sim::Time jitter =
         cfg.ud_jitter_max > 0 ? fabric.rng().next_below(cfg.ud_jitter_max) : 0;
-    sim::Time latency = fabric.transfer_latency(lid(), dlid, payload.size()) +
+    sim::Time latency = fabric.transfer_latency(lid(), dlid, payload->size()) +
                         jitter + fault.extra_delay;
+    // Every delivered copy (including duplicates) shares the immutable
+    // payload buffer; only the shared_ptr is copied per delivery.
     auto gram = std::make_shared<UdDatagram>(
         UdDatagram{lid(), qpn_, std::move(payload)});
     deliver(depart + latency, gram);

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace odcm::fabric {
@@ -66,12 +67,18 @@ struct Completion {
   }
 };
 
+/// Immutable datagram payload, shared between the sender's retransmission
+/// buffer and every delivered (possibly duplicated) copy of the datagram.
+/// UD delivery used to copy the payload per duplicate; sharing one buffer
+/// removes the per-packet allocation from the handshake hot path.
+using UdPayload = std::shared_ptr<const std::vector<std::byte>>;
+
 /// Datagram delivered to a UD queue pair's receive queue. Carries the
 /// source address the way a GRH does, so the receiver can reply.
 struct UdDatagram {
   Lid src_lid = 0;
   Qpn src_qpn = 0;
-  std::vector<std::byte> payload{};
+  UdPayload payload{};
 };
 
 /// RC SEND message delivered to the owner PE's shared receive queue.

@@ -26,6 +26,7 @@ void write_ts(std::ostream& out, sim::Time ns) {
 const char* annotation_name(ProtocolEvent::Kind kind) {
   switch (kind) {
     case ProtocolEvent::Kind::kRetransmit: return "retransmit";
+    case ProtocolEvent::Kind::kConnectFailed: return "connect_failed";
     case ProtocolEvent::Kind::kReplyResend: return "reply_resend";
     case ProtocolEvent::Kind::kCollision: return "collision";
     case ProtocolEvent::Kind::kRequestHeld: return "request_held";
@@ -126,7 +127,8 @@ void export_chrome_trace(std::ostream& out,
            << kConnPid << ",\"tid\":" << tid << ",\"ts\":";
         write_ts(ev, note.time);
         ev << ",\"args\":{";
-        if (note.kind == ProtocolEvent::Kind::kRetransmit) {
+        if (note.kind == ProtocolEvent::Kind::kRetransmit ||
+            note.kind == ProtocolEvent::Kind::kConnectFailed) {
           ev << "\"attempt\":" << note.attempt;
         }
         ev << "}}";

@@ -49,6 +49,9 @@ void ConnectionTimeline::on_event(const ProtocolEvent& event) {
         case ProtocolEvent::Kind::kReplyResend:
           registry_->add("conn/reply_resends");
           break;
+        case ProtocolEvent::Kind::kConnectFailed:
+          registry_->add("conn/connect_failures");
+          break;
         case ProtocolEvent::Kind::kQpBound:
           registry_->add("conn/qp_bound");
           break;
