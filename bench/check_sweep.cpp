@@ -55,7 +55,7 @@ void usage() {
              std::to_string(FaultPlan::kRecipeCount - 1) +
              " (with --seed; default all)\n"
          "  --mode M           0=on-demand 1=static 2=eviction-capped "
-         "(default all)\n"
+         "3=intranode-shm (default all)\n"
          "  --ranks R --ppn P  job shape (default 6 PEs, 3 per node)\n"
          "  --rounds N         traffic rounds per PE (default 4)\n"
          "  --inject-dup-bug   enable the deliberate protocol bug\n"
@@ -149,8 +149,8 @@ int main(int argc, char** argv) {
               << FaultPlan::kRecipeCount - 1 << ")\n";
     return 2;
   }
-  if (options.mode && (*options.mode < 0 || *options.mode > 2)) {
-    std::cerr << "check_sweep: --mode must be 0, 1 or 2\n";
+  if (options.mode && (*options.mode < 0 || *options.mode > 3)) {
+    std::cerr << "check_sweep: --mode must be 0, 1, 2 or 3\n";
     return 2;
   }
 
@@ -169,7 +169,8 @@ int main(int argc, char** argv) {
 
   const TortureMode all_modes[] = {TortureMode::kOnDemand,
                                    TortureMode::kStatic,
-                                   TortureMode::kEvictionCapped};
+                                   TortureMode::kEvictionCapped,
+                                   TortureMode::kShm};
   std::uint64_t failures = 0;
   std::uint64_t cases = 0;
   odcm::telemetry::JsonValue results = odcm::telemetry::JsonValue::array();

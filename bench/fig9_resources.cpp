@@ -16,6 +16,7 @@
 #include "apps/heat2d.hpp"
 #include "apps/mg.hpp"
 #include "bench_util.hpp"
+#include "intranode_util.hpp"
 
 using namespace odcm;
 using namespace odcm::bench;
@@ -130,5 +131,29 @@ int main() {
               "1025 / 4097).\nPaper: >90%% reduction at 1,024 processes; "
               "2DHeat scales best, EP close behind,\nBT/MG/SP cluster "
               "together.\n");
+
+  // PPN > 1 extension: the intra-node shm transport removes same-node
+  // pairs from the RC QP budget entirely (on top of the on-demand
+  // savings above). Hello's init barrier tree at 256 / 512 PEs.
+  std::printf("\nRC QPs created with the intra-node shm transport "
+              "(hello, on-demand design)\n");
+  print_rule(86);
+  std::printf("%6s %4s | %12s %12s %12s\n", "PEs", "ppn", "rc QPs",
+              "shm QPs", "reduction");
+  for (std::uint32_t pes : {256u, 512u}) {
+    for (std::uint32_t ppn : {1u, 2u, 4u}) {
+      IntranodeQpSample rc =
+          hello_qp_sample(1, pes, ppn, core::IntranodeTransport::kRc);
+      IntranodeQpSample shm =
+          hello_qp_sample(1, pes, ppn, core::IntranodeTransport::kShm);
+      std::printf("%6u %4u | %12.0f %12.0f %11.1f%%\n", pes, ppn,
+                  rc.rc_qps_total, shm.rc_qps_total,
+                  100.0 * (1.0 - shm.rc_qps_total / rc.rc_qps_total));
+    }
+  }
+  print_rule(86);
+  std::printf("With shm the global barrier is hierarchical (node barrier + "
+              "AM tree over node\nleaders), so RC QPs drop by ~(1 - 1/PPN): "
+              ">= 70%% at PPN 4 on top of on-demand\nmanagement.\n");
   return 0;
 }

@@ -45,6 +45,7 @@
 #include "apps/hello.hpp"
 #include "apps/mg.hpp"
 #include "bench_util.hpp"
+#include "intranode_util.hpp"
 #include "mpi/mpi.hpp"
 #include "telemetry/bench_report.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -787,6 +788,55 @@ void bench_hello_trace(const BenchContext& ctx,
   std::cout << "  trace: " << trace_path.string() << "\n";
 }
 
+void bench_ablation_intranode(const BenchContext& ctx,
+                              telemetry::BenchReport& report) {
+  // 1. Same-node put latency, PPN x message size, rc vs shm.
+  std::vector<std::uint32_t> ppns = ctx.quick
+                                        ? std::vector<std::uint32_t>{2, 4}
+                                        : std::vector<std::uint32_t>{2, 4, 8};
+  std::vector<std::uint32_t> sizes =
+      ctx.quick ? std::vector<std::uint32_t>{8, 4096}
+                : std::vector<std::uint32_t>{8, 512, 4096, 65536};
+  for (std::uint32_t ppn : ppns) {
+    for (std::uint32_t bytes : sizes) {
+      double rc = same_node_put_us(ctx.seed, ppn,
+                                   core::IntranodeTransport::kRc, bytes);
+      double shm = same_node_put_us(ctx.seed, ppn,
+                                    core::IntranodeTransport::kShm, bytes);
+      report.add_row("put_same_node", static_cast<double>(bytes),
+                     {{"rc_us", rc}, {"shm_us", shm}, {"speedup", rc / shm}},
+                     "ppn" + std::to_string(ppn));
+    }
+  }
+
+  // 2. RC QPs created for hello at PPN {1, 2, 4}, rc vs shm.
+  std::uint32_t pes = ctx.quick ? 64 : 256;
+  report.set_config("qp_pes", static_cast<std::int64_t>(pes));
+  for (std::uint32_t ppn : {1u, 2u, 4u}) {
+    IntranodeQpSample rc =
+        hello_qp_sample(ctx.seed, pes, ppn, core::IntranodeTransport::kRc);
+    IntranodeQpSample shm =
+        hello_qp_sample(ctx.seed, pes, ppn, core::IntranodeTransport::kShm);
+    double reduction = 100.0 * (1.0 - shm.rc_qps_total / rc.rc_qps_total);
+    report.add_row("qp_by_ppn", static_cast<double>(ppn),
+                   {{"rc_qps", rc.rc_qps_total},
+                    {"shm_qps", shm.rc_qps_total},
+                    {"reduction_pct", reduction},
+                    {"shm_peers_mean", shm.shm_peers_mean}});
+  }
+
+  // 3. Acceptance-scale point: 512 PEs at PPN 4 must cut RC QPs >= 70%.
+  std::uint32_t accept_pes = ctx.quick ? 128 : 512;
+  report.set_config("accept_pes", static_cast<std::int64_t>(accept_pes));
+  IntranodeQpSample rc_accept = hello_qp_sample(
+      ctx.seed, accept_pes, 4, core::IntranodeTransport::kRc);
+  IntranodeQpSample shm_accept = hello_qp_sample(
+      ctx.seed, accept_pes, 4, core::IntranodeTransport::kShm);
+  report.set_metric("qp_reduction_pct_ppn4",
+                    100.0 * (1.0 - shm_accept.rc_qps_total /
+                                       rc_accept.rc_qps_total));
+}
+
 const std::vector<BenchDef>& registry() {
   static const std::vector<BenchDef> benches = {
       {"fig1_startup_breakdown",
@@ -808,6 +858,9 @@ const std::vector<BenchDef>& registry() {
        bench_table1},
       {"ablation_ud_loss", "handshake robustness under UD loss (ablation A3)",
        bench_ud_loss},
+      {"ablation_intranode",
+       "intra-node shm transport: latency + RC QP savings at PPN > 1",
+       bench_ablation_intranode},
       {"connect_storm",
        "connection-manager hot path under a small cap (host + sim cost)",
        bench_connect_storm},

@@ -103,5 +103,46 @@ int main() {
   std::printf("Counts include the barrier/reduction trees; the key property "
               "is that they are\nindependent of (or sublinear in) the total "
               "process count.\n");
+
+  // PPN > 1 extension: with the intra-node shm transport, a process's
+  // communicating peers split into RC-connected (cross-node) and shm
+  // (same-node) — only the former consume QPs and LRU slots.
+  std::printf("\nPeer split with the intra-node shm transport "
+              "(2DHeat, %u PEs)\n", kPes);
+  print_rule(56);
+  std::printf("%4s | %12s %12s %14s\n", "ppn", "RC peers", "shm peers",
+              "RC QPs/proc");
+  for (std::uint32_t ppn : {2u, 4u, 8u}) {
+    core::ConduitConfig conduit = core::proposed_design();
+    conduit.intranode_transport = core::IntranodeTransport::kShm;
+    sim::Engine engine;
+    shmem::ShmemJob job(engine,
+                        paper_job_heap(kPes, ppn, conduit, 2ULL << 20));
+    std::vector<apps::KernelResult> results(kPes);
+    apps::Heat2dParams heat;
+    heat.global_n = 96;
+    heat.iters = 10;
+    heat.verify = false;
+    job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await pe.start_pes();
+      co_await apps::heat2d_pe(pe, heat, results[pe.rank()]);
+      co_await pe.finalize();
+    });
+    engine.run();
+    double rc_peers = mean_peers(job);
+    double shm_peers = 0;
+    double qps = 0;
+    for (std::uint32_t r = 0; r < kPes; ++r) {
+      core::Conduit& c = job.conduit_job().conduit(r);
+      shm_peers += static_cast<double>(c.shm_peer_count());
+      qps += static_cast<double>(c.stats().counter("qp_created_rc"));
+    }
+    std::printf("%4u | %12.1f %12.1f %14.1f\n", ppn, rc_peers,
+                shm_peers / kPes, qps / kPes);
+  }
+  print_rule(56);
+  std::printf("Same-node neighbors migrate from the RC column to the shm "
+              "column as PPN grows,\nshrinking each process's QP "
+              "footprint.\n");
   return 0;
 }

@@ -20,6 +20,9 @@ ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 echo "==> perf smoke (label: perf-smoke)"
 ctest --test-dir "${prefix}" --output-on-failure -L perf-smoke
 
+echo "==> transport conformance matrix (label: transport)"
+ctest --test-dir "${prefix}" --output-on-failure -L transport
+
 echo "==> torture sweep (label: torture)"
 ctest --test-dir "${prefix}" --output-on-failure -L torture
 "${prefix}/bench/check_sweep" --seeds 50 \
@@ -40,6 +43,10 @@ cmake --build "${prefix}-asan" -j "${jobs}"
 # LSan reports as leaks. ASan OOB/use-after-free and UBSan stay active.
 ASAN_OPTIONS=detect_leaks=0 \
   ctest --test-dir "${prefix}-asan" --output-on-failure -j "${jobs}"
+# The transport matrix again under ASan/UBSan: the shm path is raw
+# cross-mapped memory, exactly where the sanitizers earn their keep.
+ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir "${prefix}-asan" --output-on-failure -L transport
 ASAN_OPTIONS=detect_leaks=0 "${prefix}-asan/bench/check_sweep" --seeds 10
 
 echo "==> ci.sh: all green"

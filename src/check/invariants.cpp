@@ -56,6 +56,7 @@ std::string InvariantChecker::format(const ProtocolEvent& event) {
       out << "payload-installed";
       break;
     case ProtocolEvent::Kind::kRdmaIssued: out << "rdma-issued"; break;
+    case ProtocolEvent::Kind::kShmIssued: out << "shm-issued"; break;
   }
   return out.str();
 }
@@ -180,6 +181,10 @@ void InvariantChecker::on_event(const ProtocolEvent& event) {
       pair.payload_installed = true;
       break;
     case ProtocolEvent::Kind::kRdmaIssued:
+      if (options_.intranode_shm && same_node(event.self, event.peer)) {
+        fail(event, "RC RMA issued toward a same-node peer while the shm "
+                    "transport is enabled (transport selection bypassed)");
+      }
       if (pair.phase != PeerPhase::kConnected) {
         fail(event, "RMA issued toward a peer that is not Connected");
       }
@@ -187,6 +192,20 @@ void InvariantChecker::on_event(const ProtocolEvent& event) {
           pair.role != PeerRole::kStatic && !pair.payload_installed) {
         fail(event, "RMA issued before the peer's segment keys (payload) "
                     "were installed");
+      }
+      break;
+    case ProtocolEvent::Kind::kShmIssued:
+      // Shm ops involve no connection: same-node pairs legitimately show
+      // zero ConnectRequest traffic, and this event is the only protocol
+      // footprint of their data path.
+      if (!options_.intranode_shm) {
+        fail(event, "shm transport op observed but the checker was not "
+                    "configured with intranode_shm");
+      }
+      if (options_.ranks_per_node != 0 &&
+          !same_node(event.self, event.peer)) {
+        fail(event, "shm transport op issued toward a peer on a different "
+                    "node");
       }
       break;
   }

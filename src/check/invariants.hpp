@@ -53,6 +53,15 @@ class InvariantChecker final : public core::ProtocolObserver {
     bool payloads_expected = false;
     /// Recent events kept for the violation report.
     std::size_t history_limit = 48;
+    /// The job routes same-node traffic over the shared-memory transport
+    /// (`ConduitConfig::intranode_transport == kShm`). Same-node pairs
+    /// then legitimately produce *zero* ConnectRequest/handshake events;
+    /// instead, kShmIssued toward a different-node peer and RC RMA toward
+    /// a same-node peer become violations.
+    bool intranode_shm = false;
+    /// Ranks per node, for same-node classification. Required (non-zero)
+    /// to check kShmIssued routing; 0 disables the topology checks.
+    std::uint32_t ranks_per_node = 0;
   };
 
   InvariantChecker() = default;
@@ -86,6 +95,12 @@ class InvariantChecker final : public core::ProtocolObserver {
 
   [[noreturn]] void fail(const core::ProtocolEvent& event,
                          const std::string& reason) const;
+  /// Same-node classification per `Options::ranks_per_node` (false when
+  /// the topology is unknown).
+  [[nodiscard]] bool same_node(fabric::RankId a, fabric::RankId b) const {
+    return options_.ranks_per_node != 0 &&
+           a / options_.ranks_per_node == b / options_.ranks_per_node;
+  }
   void check_phase_change(const core::ProtocolEvent& event, PairState& pair);
   void remember(const core::ProtocolEvent& event);
   [[nodiscard]] static std::string format(const core::ProtocolEvent& event);

@@ -15,6 +15,7 @@ const char* to_string(TortureMode mode) noexcept {
     case TortureMode::kOnDemand: return "on-demand";
     case TortureMode::kStatic: return "static";
     case TortureMode::kEvictionCapped: return "eviction-capped";
+    case TortureMode::kShm: return "intranode-shm";
   }
   return "?";
 }
@@ -47,6 +48,10 @@ core::JobConfig make_config(const TortureCase& c) {
       config.conduit = core::proposed_design();
       config.conduit.max_active_connections = 2;
       break;
+    case TortureMode::kShm:
+      config.conduit = core::proposed_design();
+      config.conduit.intranode_transport = core::IntranodeTransport::kShm;
+      break;
   }
   config.conduit.test_skip_duplicate_suppression =
       c.inject_duplicate_suppression_bug;
@@ -77,6 +82,8 @@ TortureResult run_case(const TortureCase& c) {
   InvariantChecker::Options options;
   options.max_retries = config.conduit.conn_max_retries;
   options.payloads_expected = on_demand;
+  options.intranode_shm = c.mode == TortureMode::kShm;
+  options.ranks_per_node = c.ppn;
   InvariantChecker checker(options);
   job.set_observer(&checker);
 
@@ -121,6 +128,11 @@ TortureResult run_case(const TortureCase& c) {
     co_await conduit.init();
     mrs[self] = co_await conduit.hca().register_memory(
         *spaces[self], spaces[self]->base(), spaces[self]->size());
+    // Cross-map the segment for same-node peers (no-op unless the shm
+    // transport is enabled); the barrier below guarantees every peer has
+    // exported before traffic starts.
+    co_await conduit.shm_export(*spaces[self], spaces[self]->base(),
+                                spaces[self]->size());
     if (on_demand) {
       conduit.set_ready();
     }
@@ -184,6 +196,12 @@ TortureResult run_case(const TortureCase& c) {
 
   result.ok = result.failure.empty();
   result.events_seen = checker.events_seen();
+  {
+    sim::StatSet totals = job.aggregate_stats();
+    result.shm_ops = static_cast<std::uint64_t>(
+        totals.counter("rma_put_shm") + totals.counter("rma_get_shm") +
+        totals.counter("rma_atomic_shm") + totals.counter("am_sent_shm"));
+  }
   result.ud_datagrams = job.fabric().ud_datagrams_sent();
   result.fault_decisions = plan.decisions();
   if (!result.ok) {

@@ -21,6 +21,11 @@ enum class TortureMode : std::uint8_t {
   kOnDemand = 0,        ///< proposed design, unlimited connections
   kStatic = 1,          ///< baseline static mesh
   kEvictionCapped = 2,  ///< proposed design, max_active_connections = 2
+  /// Proposed design with `intranode_transport = kShm`: same-node traffic
+  /// rides the shared-memory transport while cross-node traffic stays on
+  /// RC-over-on-demand. The data-integrity audit then proves shm and RC
+  /// atomics targeting the same address sum exactly (mixed coherence).
+  kShm = 3,
 };
 
 [[nodiscard]] const char* to_string(TortureMode mode) noexcept;
@@ -43,6 +48,8 @@ struct TortureResult {
   std::uint64_t events_seen = 0;
   std::uint64_t ud_datagrams = 0;
   std::uint64_t fault_decisions = 0;
+  /// Ops routed over the shm transport (kShm mode; 0 otherwise).
+  std::uint64_t shm_ops = 0;
   std::string plan{};  ///< FaultPlan::describe() of the plan that ran
 };
 

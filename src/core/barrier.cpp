@@ -30,10 +30,10 @@ void Conduit::handle_barrier_arrive(RankId /*src*/, std::uint32_t round) {
   BarrierRound& state = barrier_round(round);
   std::uint32_t fanout = config().barrier_fanout;
   std::uint64_t first_child =
-      static_cast<std::uint64_t>(rank_) * fanout + 1;
+      static_cast<std::uint64_t>(barrier_vrank()) * fanout + 1;
   std::uint32_t children = 0;
   for (std::uint32_t c = 0; c < fanout; ++c) {
-    if (first_child + c < size()) ++children;
+    if (first_child + c < barrier_vsize()) ++children;
   }
   if (++state.arrived == children) {
     state.arrivals.open();
@@ -44,30 +44,47 @@ void Conduit::handle_barrier_release(std::uint32_t round) {
   barrier_round(round).release.open();
 }
 
-sim::Task<> Conduit::barrier_global() {
-  const std::uint32_t n = size();
-  if (n == 1) {
-    co_await engine().delay(config().intranode_barrier_hop);
-    co_return;
+std::uint32_t Conduit::barrier_vrank() const {
+  return config().intranode_transport == IntranodeTransport::kShm
+             ? static_cast<std::uint32_t>(node_)
+             : static_cast<std::uint32_t>(rank_);
+}
+
+std::uint32_t Conduit::barrier_vsize() const {
+  if (config().intranode_transport != IntranodeTransport::kShm) return size();
+  const std::uint32_t rpn = job_.config().ranks_per_node;
+  return (size() + rpn - 1) / rpn;
+}
+
+RankId Conduit::barrier_actual_rank(std::uint64_t vrank) const {
+  if (config().intranode_transport != IntranodeTransport::kShm) {
+    return static_cast<RankId>(vrank);
   }
+  return static_cast<RankId>(vrank * job_.config().ranks_per_node);
+}
+
+sim::Task<> Conduit::barrier_tree() {
+  const std::uint32_t vsize = barrier_vsize();
+  const std::uint32_t vrank = barrier_vrank();
   std::uint32_t round = barrier_next_round_++;
+  if (vsize == 1) co_return;  // single participant: nothing to exchange
   BarrierRound& state = barrier_round(round);
   const std::uint32_t fanout = config().barrier_fanout;
 
   std::vector<RankId> children;
   for (std::uint32_t c = 0; c < fanout; ++c) {
-    std::uint64_t child = static_cast<std::uint64_t>(rank_) * fanout + 1 + c;
-    if (child < n) children.push_back(static_cast<RankId>(child));
+    std::uint64_t child = static_cast<std::uint64_t>(vrank) * fanout + 1 + c;
+    if (child < vsize) children.push_back(barrier_actual_rank(child));
   }
 
   // Wait for all children to check in, then report up (or release if root).
   if (!children.empty()) {
     co_await state.arrivals.wait();
   }
-  if (rank_ == 0) {
+  if (vrank == 0) {
     state.release.open();
   } else {
-    RankId parent = (rank_ - 1) / fanout;
+    RankId parent = barrier_actual_rank((vrank - 1) / fanout);
     co_await am_send(parent, /*handler=*/0, encode_round(round));
     co_await state.release.wait();
   }
@@ -75,6 +92,27 @@ sim::Task<> Conduit::barrier_global() {
     co_await am_send(child, /*handler=*/1, encode_round(round));
   }
   barrier_rounds_.erase(round);
+}
+
+sim::Task<> Conduit::barrier_global() {
+  const std::uint32_t n = size();
+  if (n == 1) {
+    co_await engine().delay(config().intranode_barrier_hop);
+    co_return;
+  }
+  if (config().intranode_transport == IntranodeTransport::kShm) {
+    // Hierarchical: everyone arrives at the node barrier over shared
+    // memory, node leaders synchronize over the AM tree, and a second
+    // node barrier releases the non-leaders. No same-node pair ever
+    // touches an RC connection.
+    co_await barrier_intranode();
+    if (rank_ == barrier_actual_rank(node_)) {
+      co_await barrier_tree();
+    }
+    co_await barrier_intranode();
+  } else {
+    co_await barrier_tree();
+  }
   stats_.add("barriers_global");
 }
 

@@ -1,4 +1,6 @@
 // Conduit lifecycle, listeners, active messages and RMA wrappers.
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -228,6 +230,9 @@ void Conduit::register_handler(std::uint16_t id, AmHandler handler) {
 
 sim::Task<> Conduit::am_send(RankId dst, std::uint16_t handler,
                              std::vector<std::byte> payload) {
+  if (shm_routes(dst)) {
+    co_return co_await shm_am_send(dst, handler, std::move(payload));
+  }
   fabric::QueuePair* qp = co_await connected_qp(dst);
   AmPacket packet{handler, rank_, std::move(payload)};
   fabric::Completion wc = co_await qp->send(packet.encode());
@@ -235,6 +240,173 @@ sim::Task<> Conduit::am_send(RankId dst, std::uint16_t handler,
     throw std::runtime_error("Conduit::am_send: send failed");
   }
   stats_.add("am_sent");
+}
+
+// ---- intra-node shared-memory transport ----
+
+bool Conduit::shm_routes(RankId dst) const {
+  return config().intranode_transport == IntranodeTransport::kShm &&
+         dst < size() && job_.node_of(dst) == node_;
+}
+
+fabric::ShmDomain& Conduit::shm_domain() {
+  return job_.fabric().shm_domain(node_);
+}
+
+void Conduit::mark_shm_peer(RankId dst) {
+  if (shm_peers_.empty()) {
+    shm_peers_.assign(size(), false);
+  }
+  if (!shm_peers_[dst]) {
+    shm_peers_[dst] = true;
+    ++shm_peer_count_;
+  }
+}
+
+sim::Task<> Conduit::shm_export(fabric::AddressSpace& space,
+                                fabric::VirtAddr base, std::uint64_t len) {
+  if (config().intranode_transport != IntranodeTransport::kShm) {
+    co_return;
+  }
+  co_await shm_domain().export_segment(rank_, space, base, len);
+  stats_.add("shm_segment_exported");
+  trace("shm", "exported segment");
+}
+
+sim::Task<> Conduit::shm_am_send(RankId dst, std::uint16_t handler,
+                                 std::vector<std::byte> payload) {
+  const fabric::FabricConfig& fcfg = job_.fabric().config();
+  AmPacket packet{handler, rank_, std::move(payload)};
+  std::vector<std::byte> bytes = packet.encode();
+  co_await engine().delay(
+      fcfg.shm_am_overhead + fcfg.shm_copy_latency +
+      static_cast<sim::Time>(static_cast<double>(bytes.size()) /
+                             fcfg.shm_bytes_per_ns));
+  mark_shm_peer(dst);
+  stats_.add("am_sent");
+  stats_.add("am_sent_shm");
+  // Delivered through the same per-PE receive queue RC SENDs land in, so
+  // dispatch (and its software overhead) stays transport-independent.
+  // src_qpn 0 marks a connectionless origin.
+  hca().srq(dst).push(
+      fabric::RcMessage{.src_lid = hca().lid(), .payload = std::move(bytes)});
+}
+
+sim::Task<fabric::Completion> Conduit::shm_put(RankId dst,
+                                               fabric::VirtAddr raddr,
+                                               std::vector<std::byte> data) {
+  const fabric::FabricConfig& fcfg = job_.fabric().config();
+  const sim::Time start = engine().now();
+  mark_shm_peer(dst);
+  stats_.add("rma_put");
+  stats_.add("rma_put_shm");
+  notify({.kind = ProtocolEvent::Kind::kShmIssued, .peer = dst});
+  co_await engine().delay(
+      fcfg.shm_copy_latency +
+      static_cast<sim::Time>(static_cast<double>(data.size()) /
+                             fcfg.shm_bytes_per_ns));
+  fabric::Completion wc;
+  wc.opcode = fabric::WcOpcode::kRdmaWrite;
+  wc.byte_len = static_cast<std::uint32_t>(data.size());
+  auto window = shm_domain().resolve(dst, raddr, data.size());
+  if (!window) {
+    wc.status = fabric::WcStatus::kRemoteAccessError;
+  } else {
+    std::copy(data.begin(), data.end(), window->begin());
+  }
+  stats_.add_time("rma_shm_time", engine().now() - start);
+  co_return wc;
+}
+
+sim::Task<fabric::Completion> Conduit::shm_get(RankId dst,
+                                               fabric::VirtAddr raddr,
+                                               std::span<std::byte> dest) {
+  const fabric::FabricConfig& fcfg = job_.fabric().config();
+  const sim::Time start = engine().now();
+  mark_shm_peer(dst);
+  stats_.add("rma_get");
+  stats_.add("rma_get_shm");
+  notify({.kind = ProtocolEvent::Kind::kShmIssued, .peer = dst});
+  co_await engine().delay(
+      fcfg.shm_copy_latency +
+      static_cast<sim::Time>(static_cast<double>(dest.size()) /
+                             fcfg.shm_bytes_per_ns));
+  fabric::Completion wc;
+  wc.opcode = fabric::WcOpcode::kRdmaRead;
+  wc.byte_len = static_cast<std::uint32_t>(dest.size());
+  auto window = shm_domain().resolve(dst, raddr, dest.size());
+  if (!window) {
+    wc.status = fabric::WcStatus::kRemoteAccessError;
+  } else {
+    std::copy(window->begin(), window->end(), dest.begin());
+  }
+  stats_.add_time("rma_shm_time", engine().now() - start);
+  co_return wc;
+}
+
+sim::Task<fabric::Completion> Conduit::shm_atomic(RankId dst,
+                                                  fabric::VirtAddr raddr,
+                                                  fabric::WcOpcode opcode,
+                                                  std::uint64_t operand,
+                                                  std::uint64_t expect) {
+  const fabric::FabricConfig& fcfg = job_.fabric().config();
+  const sim::Time start = engine().now();
+  mark_shm_peer(dst);
+  stats_.add("rma_atomic");
+  stats_.add("rma_atomic_shm");
+  notify({.kind = ProtocolEvent::Kind::kShmIssued, .peer = dst});
+  co_await engine().delay(fcfg.shm_atomic_latency);
+  // The read-modify-write happens atomically at this single simulated
+  // instant, on the same AddressSpace bytes RC atomics resolve to through
+  // the HCA registration table — which is the whole coherence argument
+  // (DESIGN.md §5.14).
+  fabric::Completion wc;
+  wc.opcode = opcode;
+  wc.byte_len = 8;
+  auto window = shm_domain().resolve(dst, raddr, 8);
+  if (!window) {
+    wc.status = fabric::WcStatus::kRemoteAccessError;
+  } else {
+    std::uint64_t value = 0;
+    std::memcpy(&value, window->data(), 8);
+    wc.atomic_old = value;
+    switch (opcode) {
+      case fabric::WcOpcode::kFetchAdd:
+        value += operand;
+        break;
+      case fabric::WcOpcode::kCompareSwap:
+        if (value == expect) value = operand;
+        break;
+      case fabric::WcOpcode::kSwap:
+        value = operand;
+        break;
+      default:
+        throw std::logic_error("Conduit::shm_atomic: bad opcode");
+    }
+    std::memcpy(window->data(), &value, 8);
+  }
+  stats_.add_time("rma_shm_time", engine().now() - start);
+  co_return wc;
+}
+
+sim::Task<fabric::Completion> Conduit::shm_fetch_add(RankId dst,
+                                                     fabric::VirtAddr raddr,
+                                                     std::uint64_t add) {
+  return shm_atomic(dst, raddr, fabric::WcOpcode::kFetchAdd, add, 0);
+}
+
+sim::Task<fabric::Completion> Conduit::shm_compare_swap(RankId dst,
+                                                        fabric::VirtAddr raddr,
+                                                        std::uint64_t expect,
+                                                        std::uint64_t desired) {
+  return shm_atomic(dst, raddr, fabric::WcOpcode::kCompareSwap, desired,
+                    expect);
+}
+
+sim::Task<fabric::Completion> Conduit::shm_swap(RankId dst,
+                                                fabric::VirtAddr raddr,
+                                                std::uint64_t value) {
+  return shm_atomic(dst, raddr, fabric::WcOpcode::kSwap, value, 0);
 }
 
 // ---- RMA ----
@@ -258,47 +430,78 @@ sim::Task<fabric::QueuePair*> Conduit::connected_qp(RankId dst) {
 sim::Task<fabric::Completion> Conduit::put(RankId dst, fabric::VirtAddr raddr,
                                            fabric::RKey rkey,
                                            std::vector<std::byte> data) {
+  if (shm_routes(dst)) {
+    co_return co_await shm_put(dst, raddr, std::move(data));
+  }
+  const sim::Time start = engine().now();
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_put");
   notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  co_return co_await qp->rdma_write(raddr, rkey, std::move(data));
+  fabric::Completion wc = co_await qp->rdma_write(raddr, rkey, std::move(data));
+  stats_.add_time("rma_rc_time", engine().now() - start);
+  co_return wc;
 }
 
 sim::Task<fabric::Completion> Conduit::get(RankId dst, fabric::VirtAddr raddr,
                                            fabric::RKey rkey,
                                            std::span<std::byte> dest) {
+  if (shm_routes(dst)) {
+    co_return co_await shm_get(dst, raddr, dest);
+  }
+  const sim::Time start = engine().now();
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_get");
   notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  co_return co_await qp->rdma_read(raddr, rkey, dest);
+  fabric::Completion wc = co_await qp->rdma_read(raddr, rkey, dest);
+  stats_.add_time("rma_rc_time", engine().now() - start);
+  co_return wc;
 }
 
 sim::Task<fabric::Completion> Conduit::atomic_fetch_add(
     RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
     std::uint64_t add) {
+  if (shm_routes(dst)) {
+    co_return co_await shm_fetch_add(dst, raddr, add);
+  }
+  const sim::Time start = engine().now();
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_atomic");
   notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  co_return co_await qp->fetch_add(raddr, rkey, add);
+  fabric::Completion wc = co_await qp->fetch_add(raddr, rkey, add);
+  stats_.add_time("rma_rc_time", engine().now() - start);
+  co_return wc;
 }
 
 sim::Task<fabric::Completion> Conduit::atomic_compare_swap(
     RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
     std::uint64_t expect, std::uint64_t desired) {
+  if (shm_routes(dst)) {
+    co_return co_await shm_compare_swap(dst, raddr, expect, desired);
+  }
+  const sim::Time start = engine().now();
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_atomic");
   notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  co_return co_await qp->compare_swap(raddr, rkey, expect, desired);
+  fabric::Completion wc = co_await qp->compare_swap(raddr, rkey, expect,
+                                                    desired);
+  stats_.add_time("rma_rc_time", engine().now() - start);
+  co_return wc;
 }
 
 sim::Task<fabric::Completion> Conduit::atomic_swap(RankId dst,
                                                    fabric::VirtAddr raddr,
                                                    fabric::RKey rkey,
                                                    std::uint64_t value) {
+  if (shm_routes(dst)) {
+    co_return co_await shm_swap(dst, raddr, value);
+  }
+  const sim::Time start = engine().now();
   fabric::QueuePair* qp = co_await connected_qp(dst);
   stats_.add("rma_atomic");
   notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  co_return co_await qp->swap(raddr, rkey, value);
+  fabric::Completion wc = co_await qp->swap(raddr, rkey, value);
+  stats_.add_time("rma_rc_time", engine().now() - start);
+  co_return wc;
 }
 
 // ---- PMI endpoint publication ----

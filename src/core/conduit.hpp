@@ -114,8 +114,40 @@ class Conduit {
   void register_handler(std::uint16_t id, AmHandler handler);
 
   /// Send an active message; establishes the connection on demand.
+  /// Same-node destinations are routed over the shm transport when
+  /// `intranode_transport == kShm` (no connection involved).
   [[nodiscard]] sim::Task<> am_send(RankId dst, std::uint16_t handler,
                                     std::vector<std::byte> payload);
+
+  // ---- intra-node shared-memory transport (transport selection) ----
+
+  /// True when traffic toward `dst` rides the shm transport: same node and
+  /// `intranode_transport == kShm`. Such peers never handshake, never bind
+  /// an RC QP, and never occupy an LRU slot or connection-cap budget.
+  [[nodiscard]] bool shm_routes(RankId dst) const;
+
+  /// Cross-map `[base, base + len)` of this PE's segment into the node's
+  /// shm domain (charges `shm_attach_cost`; no-op when the shm transport
+  /// is disabled). The upper layer calls this during its node-local
+  /// bootstrap, before any same-node peer may address the segment.
+  [[nodiscard]] sim::Task<> shm_export(fabric::AddressSpace& space,
+                                       fabric::VirtAddr base,
+                                       std::uint64_t len);
+
+  // Explicit shm data path (put/get/atomic_* below route here on their
+  // own; these entry points let upper layers that resolve addresses
+  // without an rkey — the shm path needs none — call in directly).
+  [[nodiscard]] sim::Task<fabric::Completion> shm_put(
+      RankId dst, fabric::VirtAddr raddr, std::vector<std::byte> data);
+  [[nodiscard]] sim::Task<fabric::Completion> shm_get(
+      RankId dst, fabric::VirtAddr raddr, std::span<std::byte> dest);
+  [[nodiscard]] sim::Task<fabric::Completion> shm_fetch_add(
+      RankId dst, fabric::VirtAddr raddr, std::uint64_t add);
+  [[nodiscard]] sim::Task<fabric::Completion> shm_compare_swap(
+      RankId dst, fabric::VirtAddr raddr, std::uint64_t expect,
+      std::uint64_t desired);
+  [[nodiscard]] sim::Task<fabric::Completion> shm_swap(
+      RankId dst, fabric::VirtAddr raddr, std::uint64_t value);
 
   // ---- RMA (extended API) ----
 
@@ -141,6 +173,10 @@ class Conduit {
 
   // ---- barriers ----
 
+  /// Barrier across all PEs. With the rc intra-node transport this is an
+  /// AM tree over every rank; with shm it is hierarchical — PEs arrive at
+  /// the node barrier over shared memory and only node leaders run the AM
+  /// tree, so same-node pairs never consume RC connections.
   /// Tree barrier over active messages across all PEs (forces O(fanout)
   /// connections per PE in on-demand mode).
   [[nodiscard]] sim::Task<> barrier_global();
@@ -157,6 +193,10 @@ class Conduit {
   [[nodiscard]] const sim::StatSet& stats() const noexcept { return stats_; }
   /// Number of peers this PE holds an established connection to.
   [[nodiscard]] std::uint64_t connected_peer_count() const;
+  /// Number of distinct peers this PE reached over the shm transport.
+  [[nodiscard]] std::uint64_t shm_peer_count() const noexcept {
+    return shm_peer_count_;
+  }
   /// IB endpoints (QPs) this PE created, including bulk-modeled ones.
   [[nodiscard]] std::uint64_t endpoints_created() const;
   /// Connection phase / role toward `rank` (diagnostics and checkers).
@@ -291,6 +331,20 @@ class Conduit {
   /// honor a deferred remote drain, else run the eviction policy.
   void after_established(RankId src);
 
+  // Intra-node shm transport internals.
+  [[nodiscard]] fabric::ShmDomain& shm_domain();
+  /// Deliver an AM to a same-node peer through its SRQ after charging the
+  /// shm cost model — dispatch stays transport-independent.
+  sim::Task<> shm_am_send(RankId dst, std::uint16_t handler,
+                          std::vector<std::byte> payload);
+  /// Shared body of the three shm atomics (`opcode` selects the RMW).
+  sim::Task<fabric::Completion> shm_atomic(RankId dst, fabric::VirtAddr raddr,
+                                           fabric::WcOpcode opcode,
+                                           std::uint64_t operand,
+                                           std::uint64_t expect);
+  /// First-contact accounting for the shm path (Table I peer counts).
+  void mark_shm_peer(RankId dst);
+
   // Static mesh setup.
   sim::Task<> static_connect_all();
   sim::Task<> static_connect_bulk();
@@ -304,6 +358,13 @@ class Conduit {
   sim::Task<> dispatch_am(AmPacket packet, fabric::Qpn src_qpn);
   void handle_barrier_arrive(RankId src, std::uint32_t round);
   void handle_barrier_release(std::uint32_t round);
+  /// The AM-tree leg of barrier_global. With the shm transport the tree
+  /// runs over node leaders only (virtual rank = node index); otherwise
+  /// over all ranks.
+  [[nodiscard]] sim::Task<> barrier_tree();
+  [[nodiscard]] std::uint32_t barrier_vrank() const;
+  [[nodiscard]] std::uint32_t barrier_vsize() const;
+  [[nodiscard]] RankId barrier_actual_rank(std::uint64_t vrank) const;
 
   struct BarrierRound {
     explicit BarrierRound(sim::Engine& engine)
@@ -336,6 +397,10 @@ class Conduit {
   LruList<Peer> lru_{};
   bool bulk_connected_ = false;  // static bulk model in effect
   std::uint64_t bulk_endpoints_ = 0;
+  /// Distinct peers reached over the shm transport (dense bitmap; sized
+  /// lazily on first shm op).
+  std::vector<bool> shm_peers_{};
+  std::uint64_t shm_peer_count_ = 0;
 
   /// Visit every touched peer slot in ascending rank order (deterministic;
   /// finalize tears connections down in rank order).

@@ -33,6 +33,20 @@ enum class PmiMode : std::uint8_t {
   kRing,
 };
 
+/// Which transport carries traffic between PEs on the *same node*
+/// (DESIGN.md §5.14). Orthogonal to `ConnectionMode`, which governs how
+/// cross-node RC connections come into existence.
+enum class IntranodeTransport : std::uint8_t {
+  /// Same-node peers use RC QPs through the HCA loopback path exactly like
+  /// remote peers (the paper's evaluation setup).
+  kRc,
+  /// Same-node peers use the cross-mapped shared-memory transport
+  /// (fabric/shm.hpp): no UD handshake, no RC QP, no LRU/cap slot.
+  /// Put/get is a CMA-style copy; atomics are node-local and coherent with
+  /// RC atomics targeting the same symmetric address.
+  kShm,
+};
+
 /// Which barrier the runtime uses *during initialization* (paper §IV-E).
 enum class BarrierMode : std::uint8_t {
   kGlobal,     ///< shmem_barrier_all across the whole job (baseline).
@@ -43,6 +57,7 @@ struct ConduitConfig {
   ConnectionMode connection_mode = ConnectionMode::kOnDemand;
   PmiMode pmi_mode = PmiMode::kNonBlocking;
   BarrierMode init_barrier_mode = BarrierMode::kIntraNode;
+  IntranodeTransport intranode_transport = IntranodeTransport::kRc;
 
   /// Client-side retransmission timeout for connection requests sent over
   /// the unreliable datagram transport, and the retry budget. The timeout

@@ -74,6 +74,8 @@ struct ProtocolEvent {
     kQpUnbound,         ///< The peer's RC QP was retired/unbound.
     kPayloadInstalled,  ///< Piggybacked payload consumed for `peer`.
     kRdmaIssued,        ///< A put/get/atomic was issued toward `peer`.
+    kShmIssued,         ///< An op was routed over the intra-node shm
+                        ///< transport (no connection involved).
   };
 
   Kind kind = Kind::kPhaseChange;

@@ -37,6 +37,22 @@ struct FabricConfig {
   sim::Time min_packet_gap = 50 * sim::nsec;
   std::uint32_t mtu = 4096;  ///< Max UD datagram payload.
 
+  // ---- Intra-node shared-memory transport (fabric/shm.hpp) ----
+  // Calibrated distinct from the HCA loopback path above: a cross-mapped
+  // load/store copy skips the doorbell + DMA round trip, so it has lower
+  // base latency and higher bandwidth, but pays a one-time mapping cost.
+  /// One-time cost of cross-mapping a PE's symmetric segment into the
+  /// node's shared domain at init (shm_open + mmap + page-table setup).
+  sim::Time shm_attach_cost = 25 * sim::usec;
+  /// Base latency of a CMA-style process-to-process copy (put/get).
+  sim::Time shm_copy_latency = 90 * sim::nsec;
+  /// Copy bandwidth of the shared mapping (memcpy through the LLC).
+  double shm_bytes_per_ns = 14.0;
+  /// Node-local atomic on the shared mapping (single cache-line RMW).
+  sim::Time shm_atomic_latency = 120 * sim::nsec;
+  /// Software overhead of enqueueing one shm active message.
+  sim::Time shm_am_overhead = 100 * sim::nsec;
+
   // ---- Unreliable Datagram fault injection ----
   double ud_drop_rate = 0.0;       ///< Probability a UD datagram is lost.
   double ud_duplicate_rate = 0.0;  ///< Probability a datagram is delivered twice.

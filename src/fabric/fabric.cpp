@@ -10,9 +10,11 @@ Fabric::Fabric(sim::Engine& engine, FabricConfig config)
     throw std::invalid_argument("Fabric: node count must be positive");
   }
   hcas_.reserve(config_.nodes);
+  shm_domains_.reserve(config_.nodes);
   for (std::uint32_t n = 0; n < config_.nodes; ++n) {
     // LID 0 is reserved (invalid) in InfiniBand; number HCAs from 1.
     hcas_.push_back(std::make_unique<Hca>(*this, n, static_cast<Lid>(n + 1)));
+    shm_domains_.push_back(std::make_unique<ShmDomain>(*this, n));
   }
 }
 
@@ -28,6 +30,13 @@ Hca& Fabric::hca_by_lid(Lid lid) {
     throw std::out_of_range("Fabric::hca_by_lid: bad lid");
   }
   return *hcas_[lid - 1];
+}
+
+ShmDomain& Fabric::shm_domain(NodeId node) {
+  if (node >= shm_domains_.size()) {
+    throw std::out_of_range("Fabric::shm_domain: bad node id");
+  }
+  return *shm_domains_[node];
 }
 
 sim::Time Fabric::transfer_latency(Lid src, Lid dst,

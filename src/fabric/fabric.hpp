@@ -29,6 +29,7 @@
 
 #include "fabric/address_space.hpp"
 #include "fabric/config.hpp"
+#include "fabric/shm.hpp"
 #include "fabric/types.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -325,6 +326,8 @@ class Fabric {
 
   [[nodiscard]] Hca& hca(NodeId node);
   [[nodiscard]] Hca& hca_by_lid(Lid lid);
+  /// Per-node shared-memory domain (intra-node transport, fabric/shm.hpp).
+  [[nodiscard]] ShmDomain& shm_domain(NodeId node);
   [[nodiscard]] std::uint32_t node_count() const noexcept {
     return config_.nodes;
   }
@@ -356,6 +359,7 @@ class Fabric {
   FabricConfig config_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Hca>> hcas_{};
+  std::vector<std::unique_ptr<ShmDomain>> shm_domains_{};
   UdFaultHook ud_fault_hook_{};
   std::uint64_t ud_sent_ = 0;
 };

@@ -8,6 +8,12 @@
 
 namespace odcm::shmem {
 
+/// SHMEM-facing spelling of the conduit's intra-node transport knob
+/// (`ShmemJobConfig::job.conduit.intranode_transport`): same-node peers
+/// over RC loopback (the paper's setup) or the cross-mapped shared-memory
+/// transport (DESIGN.md §5.14).
+using core::IntranodeTransport;
+
 struct ShmemConfig {
   /// Actual bytes backing each PE's symmetric heap (data correctness).
   std::uint64_t heap_bytes = 1 << 20;

@@ -103,6 +103,24 @@ sim::Task<> ShmemPe::start_pes() {
   co_await conduit_.init();
   conduit_.set_ready();
 
+  if (conduit_.config().intranode_transport == core::IntranodeTransport::kShm) {
+    // Shm transport: cross-map this PE's heap into the node's shared
+    // domain and pick up same-node peers' segment triplets through the
+    // node-local exchange — no UD handshake, no piggybacked rkey involved
+    // (DESIGN.md §5.14). The intra-node barrier guarantees every local
+    // peer has registered and exported before we read its triplet.
+    sim::PhaseTimer timer(eng, st, "shm_segment_exchange");
+    co_await conduit_.shm_export(heap_space_, heap_region_.addr,
+                                 heap_region_.size);
+    co_await conduit_.barrier_intranode();
+    const core::ConduitJob& cj = job_.conduit_job();
+    for (RankId r = 0; r < n_pes(); ++r) {
+      if (r != rank_ && cj.node_of(r) == conduit_.node()) {
+        segments_[r] = *job_.pe(r).segments_[r];
+      }
+    }
+  }
+
   if (!on_demand) {
     // Current design: after the static mesh is up, every PE sends its
     // triplet to every other PE over active messages (inefficiency #2 in
@@ -243,6 +261,17 @@ sim::Task<> ShmemPe::put(RankId dst, SymAddr dest,
     co_await local_copy_in(dest, data);
     co_return;
   }
+  if (conduit_.shm_routes(dst)) {
+    // Same-node peer over the shm transport: CMA-style copy into the
+    // cross-mapped segment; resolution is by rank, no rkey involved.
+    auto [va, rkey] = remote_addr(dst, dest, data.size());
+    fabric::Completion wc = co_await conduit_.shm_put(
+        dst, va, std::vector<std::byte>(data.begin(), data.end()));
+    if (!wc.ok()) {
+      throw std::runtime_error("ShmemPe::put: shm write failed");
+    }
+    co_return;
+  }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, dest, data.size());
   fabric::Completion wc = co_await qp->rdma_write(
@@ -270,6 +299,14 @@ sim::Task<> ShmemPe::get(RankId dst, SymAddr src, std::span<std::byte> dest) {
     co_await local_copy_out(src, dest);
     co_return;
   }
+  if (conduit_.shm_routes(dst)) {
+    auto [va, rkey] = remote_addr(dst, src, dest.size());
+    fabric::Completion wc = co_await conduit_.shm_get(dst, va, dest);
+    if (!wc.ok()) {
+      throw std::runtime_error("ShmemPe::get: shm read failed");
+    }
+    co_return;
+  }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, src, dest.size());
   fabric::Completion wc = co_await qp->rdma_read(va, rkey, dest);
@@ -285,6 +322,12 @@ sim::Task<std::uint64_t> ShmemPe::atomic_fetch_add(RankId dst, SymAddr addr,
   stats().add("shmem_atomic");
   if (dst == rank_) {
     co_return co_await local_atomic(addr, v, 0, 0);
+  }
+  if (conduit_.shm_routes(dst)) {
+    auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
+    fabric::Completion wc = co_await conduit_.shm_fetch_add(dst, va, v);
+    if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+    co_return wc.atomic_old;
   }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
@@ -311,6 +354,12 @@ sim::Task<std::uint64_t> ShmemPe::atomic_swap(RankId dst, SymAddr addr,
   if (dst == rank_) {
     co_return co_await local_atomic(addr, v, 0, 1);
   }
+  if (conduit_.shm_routes(dst)) {
+    auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
+    fabric::Completion wc = co_await conduit_.shm_swap(dst, va, v);
+    if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+    co_return wc.atomic_old;
+  }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
   fabric::Completion wc = co_await qp->swap(va, rkey, v);
@@ -324,6 +373,13 @@ sim::Task<std::uint64_t> ShmemPe::atomic_compare_swap(RankId dst, SymAddr addr,
   stats().add("shmem_atomic");
   if (dst == rank_) {
     co_return co_await local_atomic(addr, desired, expect, 2);
+  }
+  if (conduit_.shm_routes(dst)) {
+    auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
+    fabric::Completion wc =
+        co_await conduit_.shm_compare_swap(dst, va, expect, desired);
+    if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+    co_return wc.atomic_old;
   }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));

@@ -34,6 +34,7 @@ const char* annotation_name(ProtocolEvent::Kind kind) {
     case ProtocolEvent::Kind::kQpUnbound: return "qp_unbound";
     case ProtocolEvent::Kind::kPayloadInstalled: return "payload_installed";
     case ProtocolEvent::Kind::kRdmaIssued: return "rdma_issued";
+    case ProtocolEvent::Kind::kShmIssued: return "shm_issued";
     case ProtocolEvent::Kind::kPhaseChange: return "phase_change";
   }
   return "?";

@@ -64,6 +64,9 @@ void ConnectionTimeline::on_event(const ProtocolEvent& event) {
         case ProtocolEvent::Kind::kRdmaIssued:
           registry_->add("conn/rdma_issued");
           break;
+        case ProtocolEvent::Kind::kShmIssued:
+          registry_->add("conn/shm_issued");
+          break;
         default: break;
       }
     }

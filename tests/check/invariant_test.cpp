@@ -155,6 +155,98 @@ TEST(InvariantChecker, ViolationReportCarriesHistory) {
   }
 }
 
+TEST(InvariantChecker, ShmIssuedToSameNodePeerNeedsNoConnection) {
+  // Regression (transport selection): with the shm transport enabled,
+  // same-node pairs legitimately produce ZERO connection events — a shm op
+  // with no preceding handshake must be legal.
+  InvariantChecker::Options options;
+  options.intranode_shm = true;
+  options.ranks_per_node = 4;
+  InvariantChecker checker(options);
+  checker.on_event(simple(ProtocolEvent::Kind::kShmIssued, 0, 1));
+  checker.on_event(simple(ProtocolEvent::Kind::kShmIssued, 3, 0));
+  EXPECT_EQ(checker.events_seen(), 2u);
+}
+
+TEST(InvariantChecker, RejectsShmIssuedAcrossNodes) {
+  InvariantChecker::Options options;
+  options.intranode_shm = true;
+  options.ranks_per_node = 4;
+  InvariantChecker checker(options);
+  // Ranks 0 and 5 live on different nodes: shared memory cannot reach.
+  EXPECT_THROW(
+      checker.on_event(simple(ProtocolEvent::Kind::kShmIssued, 0, 5)),
+      InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsShmIssuedWhenShmDisabled) {
+  InvariantChecker checker;
+  EXPECT_THROW(
+      checker.on_event(simple(ProtocolEvent::Kind::kShmIssued, 0, 1)),
+      InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsRcRmaTowardSameNodePeerUnderShm) {
+  // A connection to a same-node peer may exist (static mode still builds
+  // the full mesh), but routing RC RMA over it bypasses transport
+  // selection.
+  InvariantChecker::Options options;
+  options.intranode_shm = true;
+  options.ranks_per_node = 4;
+  InvariantChecker checker(options);
+  checker.on_event(phase_event(0, 1, PeerPhase::kIdle,
+                               PeerPhase::kRequesting));
+  checker.on_event(phase_event(0, 1, PeerPhase::kRequesting,
+                               PeerPhase::kEstablishing));
+  checker.on_event(simple(ProtocolEvent::Kind::kQpBound, 0, 1));
+  checker.on_event(phase_event(0, 1, PeerPhase::kEstablishing,
+                               PeerPhase::kConnected));
+  EXPECT_THROW(
+      checker.on_event(simple(ProtocolEvent::Kind::kRdmaIssued, 0, 1)),
+      InvariantViolation);
+}
+
+TEST(InvariantChecker, ShmJobPassesEndToEndWithZeroSameNodeHandshakes) {
+  // End-to-end regression: an on-demand job with the shm transport sends to
+  // every peer; same-node traffic never leaves Idle, cross-node traffic
+  // handshakes normally, and the checker accepts the whole run.
+  sim::Engine engine;
+  core::JobConfig config;
+  config.ranks = 6;
+  config.ranks_per_node = 3;
+  config.conduit = core::proposed_design();
+  config.conduit.intranode_transport = core::IntranodeTransport::kShm;
+  core::ConduitJob job(engine, config);
+  InvariantChecker::Options options;
+  options.intranode_shm = true;
+  options.ranks_per_node = config.ranks_per_node;
+  InvariantChecker checker(options);
+  job.set_observer(&checker);
+
+  job.spawn_all([](core::Conduit& c) -> sim::Task<> {
+    c.register_handler(20, [](fabric::RankId,
+                              std::vector<std::byte>) -> sim::Task<> {
+      co_return;
+    });
+    co_await c.init();
+    for (fabric::RankId peer = 0; peer < 6; ++peer) {
+      co_await c.am_send(peer, 20, std::vector<std::byte>(8));
+    }
+    co_await c.barrier_global();
+  });
+  engine.run();
+  checker.check_final(job, /*after_teardown=*/true);
+  EXPECT_GT(checker.events_seen(), 0u);
+  for (fabric::RankId r = 0; r < 6; ++r) {
+    for (fabric::RankId p = 0; p < 6; ++p) {
+      if (r / 3 == p / 3) {
+        EXPECT_EQ(job.conduit(r).peer_phase(p), core::PeerPhase::kIdle)
+            << r << "->" << p;
+      }
+    }
+  }
+}
+
 TEST(InvariantChecker, CleanJobPassesEndToEnd) {
   // Observe a real 4-rank on-demand job: no violations, and the final
   // audit (including the QP-leak check) passes.

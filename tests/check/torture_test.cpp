@@ -57,6 +57,29 @@ TEST(Torture, StaticSweep) {
             4u * 40u);
 }
 
+TEST(Torture, IntranodeShmSweep) {
+  // Mixed-coherence pin: same-node traffic rides the shm transport while
+  // cross-node traffic handshakes over the lossy UD channel; the
+  // data-integrity audit (exact atomic sums, AM accounting) and the
+  // invariant checker must hold under every fault recipe.
+  EXPECT_EQ(sweep(TortureMode::kShm, FaultPlan::kRecipeCount,
+                  /*seeds_per_recipe=*/40, /*seed_base=*/4000),
+            8u * 40u);
+}
+
+TEST(Torture, IntranodeShmCarriesTrafficUnderUdLoss) {
+  // The shm path must actually be exercised (not silently routed over RC)
+  // even while UD ConnectRequest loss is hammering the cross-node pairs.
+  TortureCase c;
+  c.seed = 4242;
+  c.recipe = 1;  // request_drop: UD ConnectRequest loss
+  c.mode = TortureMode::kShm;
+  TortureResult result = run_case(c);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_GT(result.shm_ops, 0u);
+  EXPECT_GT(result.ud_datagrams, 0u);  // cross-node handshakes still happen
+}
+
 TEST(Torture, ReplayCommandRoundTrips) {
   TortureCase c;
   c.seed = 424242;

@@ -1,0 +1,208 @@
+// Cross-transport conformance matrix (ISSUE 6 satellite).
+//
+// Runs one put/get/atomic/collective/GlobalArray workload over every cell
+// of {rc, shm} × {static, on_demand} × {blocking, iallgather} × PPN {1, 4}
+// and asserts that the final symmetric-heap contents of every PE are
+// byte-identical to the RC-only run of the same cell. The workload is
+// single-writer per location (atomic sums excepted — those are
+// order-independent), so the final heap image is transport-invariant by
+// construction; any divergence means a transport delivered bytes to the
+// wrong place, dropped an op, or broke atomic coherence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "shmem/global_array.hpp"
+#include "shmem/job.hpp"
+#include "test_util.hpp"
+
+namespace odcm::shmem {
+namespace {
+
+using testutil::JobEnv;
+using testutil::small_job;
+using testutil::with_init;
+
+constexpr std::uint32_t kPes = 8;
+
+struct Cell {
+  core::ConnectionMode conn;
+  core::PmiMode pmi;
+  std::uint32_t ppn;
+};
+
+std::string cell_name(const Cell& cell, IntranodeTransport transport) {
+  std::string name =
+      cell.conn == core::ConnectionMode::kStatic ? "static" : "on_demand";
+  name += cell.pmi == core::PmiMode::kBlocking ? "/blocking" : "/iallgather";
+  name += "/ppn" + std::to_string(cell.ppn);
+  name += transport == IntranodeTransport::kShm ? "/shm" : "/rc";
+  return name;
+}
+
+// The conformance workload. Every remote location has exactly one writer
+// (except the PE-0 counter, whose final value is an order-independent sum),
+// so the heap image after the closing barrier is the same no matter which
+// transport carried each op.
+sim::Task<> workload(ShmemPe& pe) {
+  const std::uint32_t n = pe.n_pes();
+  const RankId me = pe.rank();
+  const RankId right = (me + 1) % n;
+  const RankId left = (me + n - 1) % n;
+
+  // Symmetric layout (identical allocation order on every PE).
+  const SymAddr ring = pe.heap().allocate(64, 8);
+  const SymAddr counter = pe.heap().allocate(8, 8);
+  const SymAddr swap_slot = pe.heap().allocate(8, 8);
+  const SymAddr cswap_slot = pe.heap().allocate(8, 8);
+  const SymAddr bcast = pe.heap().allocate(32, 8);
+  const SymAddr red_src = pe.heap().allocate(8, 8);
+  const SymAddr red_dst = pe.heap().allocate(8, 8);
+  const SymAddr fc_src = pe.heap().allocate(8, 8);
+  const SymAddr fc_dst = pe.heap().allocate(8 * n, 8);
+
+  // put into the right neighbor, get it back, verify.
+  std::vector<std::byte> pattern(64);
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    pattern[k] = static_cast<std::byte>((me * 31 + k) & 0xff);
+  }
+  co_await pe.put(right, ring, pattern);
+  co_await pe.barrier_all();
+  std::vector<std::byte> back(64);
+  co_await pe.get(right, ring, back);
+  EXPECT_EQ(back, pattern) << "pe" << me;
+
+  // Atomic sum on PE 0 (mixed same-node/cross-node writers at PPN 4).
+  (void)co_await pe.atomic_fetch_add(0, counter, me + 1);
+  // Single-writer swap/cswap into the right neighbor.
+  std::uint64_t old = co_await pe.atomic_swap(right, swap_slot, 0xAB00 + me);
+  EXPECT_EQ(old, 0u);
+  old = co_await pe.atomic_compare_swap(right, cswap_slot, 0, 0xCD00 + me);
+  EXPECT_EQ(old, 0u);
+  co_await pe.barrier_all();
+  if (me == 0) {
+    EXPECT_EQ(pe.local_read<std::uint64_t>(counter),
+              std::uint64_t{n} * (n + 1) / 2);
+  }
+  EXPECT_EQ(pe.local_read<std::uint64_t>(swap_slot), 0xAB00u + left);
+  EXPECT_EQ(pe.local_read<std::uint64_t>(cswap_slot), 0xCD00u + left);
+
+  // Collectives: broadcast from PE 1, sum reduction, fcollect.
+  if (me == 1) {
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      pe.local_write<std::uint64_t>(bcast + 8 * k, 0xB0A0 + k);
+    }
+  }
+  co_await pe.broadcast(1, bcast, 32);
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(pe.local_read<std::uint64_t>(bcast + 8 * k), 0xB0A0u + k);
+  }
+  pe.local_write<std::uint64_t>(red_src, me + 1);
+  co_await pe.reduce<std::uint64_t>(red_dst, red_src, 1, ReduceOp::kSum);
+  EXPECT_EQ(pe.local_read<std::uint64_t>(red_dst),
+            std::uint64_t{n} * (n + 1) / 2);
+  pe.local_write<std::uint64_t>(fc_src, 100 + me);
+  co_await pe.fcollect(fc_dst, fc_src, 8);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    EXPECT_EQ(pe.local_read<std::uint64_t>(fc_dst + 8 * r), 100u + r);
+  }
+
+  // GlobalArray: local fill, remote reads, one remote write per PE.
+  GlobalArray<std::uint64_t> array(pe, 3 * n);
+  auto [lo, hi] = array.local_range();
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    array.local_set(i, i * i + 1);
+  }
+  co_await array.sync();
+  for (std::uint64_t i = 0; i < 3 * n; ++i) {
+    EXPECT_EQ(co_await array.read(i), i * i + 1);
+  }
+  co_await array.sync();
+  // Each PE overwrites the first element of its right neighbor's block.
+  co_await array.write(static_cast<std::uint64_t>(right) * array.block(),
+                       7000 + me);
+  co_await array.sync();
+  co_await pe.barrier_all();
+}
+
+/// Run one cell and return every PE's full heap image.
+std::vector<std::vector<std::byte>> run_cell(const Cell& cell,
+                                             IntranodeTransport transport) {
+  core::ConduitConfig conduit;
+  conduit.connection_mode = cell.conn;
+  conduit.pmi_mode = cell.pmi;
+  conduit.init_barrier_mode = cell.conn == core::ConnectionMode::kStatic
+                                  ? core::BarrierMode::kGlobal
+                                  : core::BarrierMode::kIntraNode;
+  conduit.intranode_transport = transport;
+  JobEnv env(small_job(kPes, cell.ppn, conduit));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> { co_await workload(pe); }));
+
+  if (transport == IntranodeTransport::kShm && cell.ppn > 1) {
+    // The shm path must actually have carried traffic.
+    sim::StatSet totals = env.job.conduit_job().aggregate_stats();
+    EXPECT_GT(totals.counter("rma_put_shm") + totals.counter("rma_get_shm") +
+                  totals.counter("rma_atomic_shm") +
+                  totals.counter("am_sent_shm"),
+              0)
+        << cell_name(cell, transport);
+  }
+
+  std::vector<std::vector<std::byte>> heaps;
+  heaps.reserve(kPes);
+  for (RankId r = 0; r < kPes; ++r) {
+    auto window =
+        env.job.pe(r).local_window(0, env.job.shmem_config().heap_bytes);
+    heaps.emplace_back(window.begin(), window.end());
+  }
+  return heaps;
+}
+
+TEST(TransportMatrix, ShmMatchesRcBaselineByteForByte) {
+  const Cell cells[] = {
+      {core::ConnectionMode::kStatic, core::PmiMode::kBlocking, 1},
+      {core::ConnectionMode::kStatic, core::PmiMode::kBlocking, 4},
+      {core::ConnectionMode::kStatic, core::PmiMode::kNonBlocking, 1},
+      {core::ConnectionMode::kStatic, core::PmiMode::kNonBlocking, 4},
+      {core::ConnectionMode::kOnDemand, core::PmiMode::kBlocking, 1},
+      {core::ConnectionMode::kOnDemand, core::PmiMode::kBlocking, 4},
+      {core::ConnectionMode::kOnDemand, core::PmiMode::kNonBlocking, 1},
+      {core::ConnectionMode::kOnDemand, core::PmiMode::kNonBlocking, 4},
+  };
+  for (const Cell& cell : cells) {
+    SCOPED_TRACE(cell_name(cell, IntranodeTransport::kShm));
+    auto rc = run_cell(cell, IntranodeTransport::kRc);
+    auto shm = run_cell(cell, IntranodeTransport::kShm);
+    ASSERT_EQ(rc.size(), shm.size());
+    for (RankId r = 0; r < kPes; ++r) {
+      EXPECT_EQ(rc[r], shm[r]) << "heap contents diverged at pe" << r;
+    }
+  }
+}
+
+// With on-demand + shm at PPN 4, same-node pairs must not consume RC QPs:
+// every same-node peer stays phase-Idle and the shm peer counter accounts
+// for the node-local traffic instead.
+TEST(TransportMatrix, SameNodePeersBypassConnectionsEntirely) {
+  core::ConduitConfig conduit = core::proposed_design();
+  conduit.intranode_transport = IntranodeTransport::kShm;
+  JobEnv env(small_job(kPes, 4, conduit));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> { co_await workload(pe); }));
+
+  core::ConduitJob& job = env.job.conduit_job();
+  for (RankId r = 0; r < kPes; ++r) {
+    core::Conduit& conduit_r = job.conduit(r);
+    EXPECT_GT(conduit_r.shm_peer_count(), 0u) << "pe" << r;
+    for (RankId p = 0; p < kPes; ++p) {
+      if (job.node_of(p) == job.node_of(r)) {
+        EXPECT_EQ(conduit_r.peer_phase(p), core::PeerPhase::kIdle)
+            << "pe" << r << " opened a connection to same-node peer " << p;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odcm::shmem
