@@ -1,0 +1,80 @@
+// Ablation A9: on-demand memory registration (chunked pin-down cache).
+//
+// Sweeps registration chunk size, pin cap, and traffic locality against the
+// eager whole-heap baseline, reporting where the lazy registration cost goes
+// (startup vs data path), how many rkey faults and evictions the traffic
+// provokes, and how much of the heap is ever pinned at once.
+#include <cstdio>
+#include <string>
+
+#include "registration_util.hpp"
+
+using namespace odcm;
+using namespace odcm::bench;
+
+namespace {
+
+void print_row(const char* chunk, const char* cap, const char* locality,
+               const RegSweepSample& sample, double heap_bytes) {
+  std::printf("%10s %10s %10s %10.4f %12.4f %12.4f %8.1f %8.1f %10.0f%%\n",
+              chunk, cap, locality, sample.wall_s, sample.eager_reg_s,
+              sample.lazy_reg_s, sample.faults, sample.evictions,
+              100.0 * sample.pinned_hw_bytes / heap_bytes);
+}
+
+std::string kib(std::uint64_t bytes) {
+  return std::to_string(bytes >> 10) + "K";
+}
+
+}  // namespace
+
+int main() {
+  RegSweepConfig base;
+  base.pes = 8;
+  base.heap_bytes = 256 << 10;
+  base.rounds = 48;
+
+  std::printf("Ablation A9: on-demand registration, %u PEs, %s heap "
+              "(modeled 256M), %u rounds\n",
+              base.pes, kib(base.heap_bytes).c_str(), base.rounds);
+  print_rule(100);
+  std::printf("%10s %10s %10s %10s %12s %12s %8s %8s %11s\n", "chunk",
+              "pin cap", "locality", "wall (s)", "eager reg(s)",
+              "lazy reg(s)", "faults", "evicts", "pinned hw");
+
+  RegSweepConfig eager = base;
+  eager.on_demand = false;
+  RegSweepSample eager_sample = reg_sweep_sample(eager);
+  // Eager registers the whole heap up front: high-water == heap size.
+  eager_sample.pinned_hw_bytes = static_cast<double>(base.heap_bytes);
+  print_row("eager", "-", "-", eager_sample,
+            static_cast<double>(base.heap_bytes));
+  print_rule(100);
+
+  for (double locality : {0.9, 0.0}) {
+    const char* name = locality > 0.5 ? "hot" : "scattered";
+    // Chunk-size sweep, uncapped.
+    for (std::uint64_t chunk : {8ULL << 10, 16ULL << 10, 64ULL << 10}) {
+      RegSweepConfig sweep = base;
+      sweep.chunk_bytes = chunk;
+      sweep.locality = locality;
+      print_row(kib(chunk).c_str(), "none", name, reg_sweep_sample(sweep),
+                static_cast<double>(base.heap_bytes));
+    }
+    // Pin-cap sweep at 16K chunks.
+    for (std::uint64_t cap_chunks : {2ULL, 4ULL}) {
+      RegSweepConfig sweep = base;
+      sweep.chunk_bytes = 16 << 10;
+      sweep.locality = locality;
+      sweep.pin_cap_bytes = cap_chunks * sweep.chunk_bytes;
+      print_row("16K", (std::to_string(cap_chunks) + "ch").c_str(), name,
+                reg_sweep_sample(sweep),
+                static_cast<double>(base.heap_bytes));
+    }
+    print_rule(100);
+  }
+  std::printf("Local traffic pins only the hot chunks (high-water shrinks); "
+              "scattered traffic under a\npin cap trades registration churn "
+              "(faults + evictions) for bounded pinned memory.\n");
+  return 0;
+}

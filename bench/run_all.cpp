@@ -47,6 +47,7 @@
 #include "bench_util.hpp"
 #include "intranode_util.hpp"
 #include "mpi/mpi.hpp"
+#include "registration_util.hpp"
 #include "telemetry/bench_report.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/telemetry.hpp"
@@ -93,10 +94,13 @@ struct HelloSample {
   double wall_s;
 };
 
-HelloSample hello_sample(const BenchContext& ctx, std::uint32_t pes,
-                         core::ConduitConfig conduit) {
+HelloSample hello_sample(
+    const BenchContext& ctx, std::uint32_t pes, core::ConduitConfig conduit,
+    shmem::RegistrationMode reg = shmem::RegistrationMode::kEager) {
   std::unique_ptr<shmem::ShmemJob> job;
-  double wall = run_job(seeded_job(ctx, pes, 16, conduit),
+  shmem::ShmemJobConfig config = seeded_job(ctx, pes, 16, conduit);
+  config.shmem.registration = reg;
+  double wall = run_job(config,
                         [](shmem::ShmemPe& pe) -> sim::Task<> {
                           co_await apps::hello_pe(pe, apps::HelloParams{});
                         },
@@ -269,25 +273,46 @@ void bench_fig1(const BenchContext& ctx, telemetry::BenchReport& report) {
   set_pes_config(report, pes_list);
   report.set_config("ppn", std::int64_t{16});
   report.set_config("design", "static");
+  double eager_reg_s = 0;
+  double ondemand_reg_s = 0;
   for (std::uint32_t pes : pes_list) {
-    std::unique_ptr<shmem::ShmemJob> job;
-    (void)run_job(seeded_job(ctx, pes, 16, core::current_design()),
-                  [](shmem::ShmemPe& pe) -> sim::Task<> {
-                    co_await apps::hello_pe(pe, apps::HelloParams{});
-                  },
-                  &job);
-    report.add_row(
-        "breakdown", pes,
-        {{"conn_setup_s", mean_phase_s(*job, "connection_setup") +
-                              mean_phase_s(*job, "init_barrier") +
-                              mean_phase_s(*job, "segment_exchange")},
-         {"pmi_exchange_s", mean_phase_s(*job, "pmi_exchange") +
-                                mean_phase_s(*job, "pmi_wait")},
-         {"mem_reg_s", mean_phase_s(*job, "memory_registration")},
-         {"shmem_setup_s", mean_phase_s(*job, "shared_memory_setup")},
-         {"other_s", mean_phase_s(*job, "init_other")},
-         {"total_s", mean_phase_s(*job, "start_pes_total")}});
+    // Two series per PE count: the eager baseline (whole-heap registration
+    // inside start_pes, the paper's Fig 1 bar) and on-demand registration,
+    // where the memory_registration slice collapses and any registration
+    // cost moves to the data path (lazy_reg_s).
+    for (bool on_demand : {false, true}) {
+      shmem::ShmemJobConfig config =
+          seeded_job(ctx, pes, 16, core::current_design());
+      if (on_demand) {
+        config.shmem.registration = shmem::RegistrationMode::kOnDemand;
+      }
+      std::unique_ptr<shmem::ShmemJob> job;
+      (void)run_job(config,
+                    [](shmem::ShmemPe& pe) -> sim::Task<> {
+                      co_await apps::hello_pe(pe, apps::HelloParams{});
+                    },
+                    &job);
+      double reg_s = mean_phase_s(*job, "memory_registration");
+      (on_demand ? ondemand_reg_s : eager_reg_s) = reg_s;
+      report.add_row(
+          on_demand ? "breakdown_ondemand_reg" : "breakdown", pes,
+          {{"conn_setup_s", mean_phase_s(*job, "connection_setup") +
+                                mean_phase_s(*job, "init_barrier") +
+                                mean_phase_s(*job, "segment_exchange")},
+           {"pmi_exchange_s", mean_phase_s(*job, "pmi_exchange") +
+                                  mean_phase_s(*job, "pmi_wait")},
+           {"mem_reg_s", reg_s},
+           {"lazy_reg_s", mean_phase_s(*job, "lazy_registration")},
+           {"shmem_setup_s", mean_phase_s(*job, "shared_memory_setup")},
+           {"other_s", mean_phase_s(*job, "init_other")},
+           {"total_s", mean_phase_s(*job, "start_pes_total")}});
+    }
   }
+  // Acceptance anchor: on-demand registration removes the startup
+  // registration slice entirely (hello touches no remote heap).
+  report.set_metric("mem_reg_reduction_pct_at_max_pes",
+                    100.0 * (1.0 - ondemand_reg_s /
+                                       std::max(eager_reg_s, 1e-12)));
 }
 
 void bench_fig5(const BenchContext& ctx, telemetry::BenchReport& report) {
@@ -299,22 +324,32 @@ void bench_fig5(const BenchContext& ctx, telemetry::BenchReport& report) {
   report.set_config("ppn", std::int64_t{16});
   double start_ratio = 0;
   double hello_ratio = 0;
+  double odreg_ratio = 0;
   for (std::uint32_t pes : pes_list) {
     HelloSample current = hello_sample(ctx, pes, core::current_design());
     HelloSample proposed = hello_sample(ctx, pes, core::proposed_design());
+    // Third series: on-demand connections AND on-demand registration —
+    // startup sheds the whole-heap pin-down on top of the handshake work.
+    HelloSample odreg = hello_sample(ctx, pes, core::proposed_design(),
+                                     shmem::RegistrationMode::kOnDemand);
     start_ratio = current.start_pes_s / proposed.start_pes_s;
     hello_ratio = current.wall_s / proposed.wall_s;
+    odreg_ratio = current.start_pes_s / odreg.start_pes_s;
     report.add_row("startup", pes,
                    {{"start_current_s", current.start_pes_s},
                     {"start_proposed_s", proposed.start_pes_s},
+                    {"start_odreg_s", odreg.start_pes_s},
                     {"start_speedup", start_ratio},
+                    {"start_odreg_speedup", odreg_ratio},
                     {"hello_current_s", current.wall_s},
                     {"hello_proposed_s", proposed.wall_s},
+                    {"hello_odreg_s", odreg.wall_s},
                     {"hello_speedup", hello_ratio}});
   }
   // Paper anchors: ~3x / ~8.3x at the top of the sweep.
   report.set_metric("start_speedup_at_max_pes", start_ratio);
   report.set_metric("hello_speedup_at_max_pes", hello_ratio);
+  report.set_metric("start_odreg_speedup_at_max_pes", odreg_ratio);
 }
 
 void bench_fig6(const BenchContext& ctx, telemetry::BenchReport& report) {
@@ -837,6 +872,74 @@ void bench_ablation_intranode(const BenchContext& ctx,
                                        rc_accept.rc_qps_total));
 }
 
+void bench_ablation_registration(const BenchContext& ctx,
+                                 telemetry::BenchReport& report) {
+  RegSweepConfig base;
+  base.seed = ctx.seed;
+  base.pes = 8;
+  base.heap_bytes = 256 << 10;
+  base.rounds = ctx.quick ? 24 : 96;
+  report.set_config("pes", static_cast<std::int64_t>(base.pes));
+  report.set_config("heap_bytes", static_cast<std::int64_t>(base.heap_bytes));
+  report.set_config("rounds", static_cast<std::int64_t>(base.rounds));
+  const auto heap = static_cast<double>(base.heap_bytes);
+
+  // Eager baseline: whole-heap registration at startup, nothing lazy.
+  RegSweepConfig eager = base;
+  eager.on_demand = false;
+  RegSweepSample eager_sample = reg_sweep_sample(eager);
+  report.add_row("eager_baseline", 0,
+                 {{"wall_s", eager_sample.wall_s},
+                  {"eager_reg_s", eager_sample.eager_reg_s},
+                  {"pinned_hw_frac", 1.0}});
+
+  auto emit = [&](const char* series, double x, const char* label,
+                  const RegSweepSample& sample) {
+    report.add_row(series, x,
+                   {{"wall_s", sample.wall_s},
+                    {"lazy_reg_s", sample.lazy_reg_s},
+                    {"faults", sample.faults},
+                    {"evictions", sample.evictions},
+                    {"pinned_hw_frac", sample.pinned_hw_bytes / heap}},
+                   label);
+  };
+
+  double hot_hw_frac = 1.0;
+  for (double locality : {0.9, 0.0}) {
+    const char* name = locality > 0.5 ? "hot" : "scattered";
+    // 1. Chunk-size sweep, uncapped: finer chunks pin less of the heap for
+    // local traffic but take more faults.
+    std::vector<std::uint64_t> chunk_sizes =
+        ctx.quick ? std::vector<std::uint64_t>{8 << 10, 64 << 10}
+                  : std::vector<std::uint64_t>{8 << 10, 16 << 10, 32 << 10,
+                                               64 << 10};
+    for (std::uint64_t chunk : chunk_sizes) {
+      RegSweepConfig sweep = base;
+      sweep.chunk_bytes = chunk;
+      sweep.locality = locality;
+      RegSweepSample sample = reg_sweep_sample(sweep);
+      if (locality > 0.5 && chunk == chunk_sizes.front()) {
+        hot_hw_frac = sample.pinned_hw_bytes / heap;
+      }
+      emit("chunk_sweep", static_cast<double>(chunk >> 10), name, sample);
+    }
+    // 2. Pin-cap sweep at 16K chunks: a tight cap bounds pinned memory at
+    // the price of eviction/re-fault churn on scattered traffic.
+    for (std::uint64_t cap_chunks : {2ULL, 4ULL}) {
+      RegSweepConfig sweep = base;
+      sweep.chunk_bytes = 16 << 10;
+      sweep.locality = locality;
+      sweep.pin_cap_bytes = cap_chunks * sweep.chunk_bytes;
+      emit("cap_sweep", static_cast<double>(cap_chunks), name,
+           reg_sweep_sample(sweep));
+    }
+  }
+  // Acceptance anchor: hot traffic over fine chunks never pins more than a
+  // fraction of what eager registration pays for up front.
+  report.set_metric("hot_pinned_highwater_frac", hot_hw_frac);
+  report.set_metric("eager_reg_s", eager_sample.eager_reg_s);
+}
+
 const std::vector<BenchDef>& registry() {
   static const std::vector<BenchDef> benches = {
       {"fig1_startup_breakdown",
@@ -861,6 +964,9 @@ const std::vector<BenchDef>& registry() {
       {"ablation_intranode",
        "intra-node shm transport: latency + RC QP savings at PPN > 1",
        bench_ablation_intranode},
+      {"ablation_registration",
+       "on-demand registration: chunk size x pin cap x locality (A9)",
+       bench_ablation_registration},
       {"connect_storm",
        "connection-manager hot path under a small cap (host + sim cost)",
        bench_connect_storm},

@@ -23,6 +23,9 @@ ctest --test-dir "${prefix}" --output-on-failure -L perf-smoke
 echo "==> transport conformance matrix (label: transport)"
 ctest --test-dir "${prefix}" --output-on-failure -L transport
 
+echo "==> on-demand registration suite (label: registration)"
+ctest --test-dir "${prefix}" --output-on-failure -L registration
+
 echo "==> torture sweep (label: torture)"
 ctest --test-dir "${prefix}" --output-on-failure -L torture
 "${prefix}/bench/check_sweep" --seeds 50 \
@@ -47,6 +50,10 @@ ASAN_OPTIONS=detect_leaks=0 \
 # cross-mapped memory, exactly where the sanitizers earn their keep.
 ASAN_OPTIONS=detect_leaks=0 \
   ctest --test-dir "${prefix}-asan" --output-on-failure -L transport
+# And the registration suite: the pin-down cache's chunked regions and the
+# rkey-fault/invalidation drain are the newest pointer-heavy paths.
+ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir "${prefix}-asan" --output-on-failure -L registration
 ASAN_OPTIONS=detect_leaks=0 "${prefix}-asan/bench/check_sweep" --seeds 10
 
 echo "==> ci.sh: all green"

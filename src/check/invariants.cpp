@@ -1,5 +1,6 @@
 #include "check/invariants.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace odcm::check {
@@ -57,6 +58,33 @@ std::string InvariantChecker::format(const ProtocolEvent& event) {
       break;
     case ProtocolEvent::Kind::kRdmaIssued: out << "rdma-issued"; break;
     case ProtocolEvent::Kind::kShmIssued: out << "shm-issued"; break;
+    case ProtocolEvent::Kind::kRegFault:
+      out << "reg-fault chunk=" << event.attempt;
+      break;
+    case ProtocolEvent::Kind::kRegFaultServed:
+      out << "reg-fault-served chunk=" << event.attempt
+          << " rkey=" << event.detail;
+      break;
+    case ProtocolEvent::Kind::kRegChunkPinned:
+      out << "reg-pinned chunk=" << event.attempt
+          << " rkey=" << event.detail;
+      break;
+    case ProtocolEvent::Kind::kRegChunkEvicted:
+      out << "reg-evicted chunk=" << event.attempt
+          << " rkey=" << event.detail;
+      break;
+    case ProtocolEvent::Kind::kRegChunkDeregistered:
+      out << "reg-deregistered chunk=" << event.attempt
+          << " rkey=" << event.detail;
+      break;
+    case ProtocolEvent::Kind::kRegRkeyInvalidated:
+      out << "reg-rkey-invalidated chunk=" << event.attempt
+          << " rkey=" << event.detail;
+      break;
+    case ProtocolEvent::Kind::kRegRkeyUsed:
+      out << "reg-rkey-used chunk=" << event.attempt
+          << " rkey=" << event.detail;
+      break;
   }
   return out.str();
 }
@@ -208,8 +236,114 @@ void InvariantChecker::on_event(const ProtocolEvent& event) {
                     "node");
       }
       break;
+    case ProtocolEvent::Kind::kRegFault:
+    case ProtocolEvent::Kind::kRegFaultServed:
+    case ProtocolEvent::Kind::kRegChunkPinned:
+    case ProtocolEvent::Kind::kRegChunkEvicted:
+    case ProtocolEvent::Kind::kRegChunkDeregistered:
+    case ProtocolEvent::Kind::kRegRkeyInvalidated:
+    case ProtocolEvent::Kind::kRegRkeyUsed:
+      check_reg_event(event);
+      break;
   }
   remember(event);
+}
+
+std::uint64_t InvariantChecker::reg_chunk_len(std::uint32_t chunk) const {
+  if (options_.reg_heap_bytes == 0) return options_.reg_chunk_bytes;
+  std::uint64_t offset =
+      static_cast<std::uint64_t>(chunk) * options_.reg_chunk_bytes;
+  if (offset >= options_.reg_heap_bytes) return 0;
+  return std::min(options_.reg_chunk_bytes, options_.reg_heap_bytes - offset);
+}
+
+void InvariantChecker::check_reg_event(const ProtocolEvent& event) {
+  if (options_.reg_chunk_bytes == 0) {
+    fail(event, "registration-protocol event observed but the checker was "
+                "not configured with reg_chunk_bytes");
+  }
+  switch (event.kind) {
+    case ProtocolEvent::Kind::kRegFault:
+      break;  // informational (latency pairing lives in telemetry)
+    case ProtocolEvent::Kind::kRegFaultServed: {
+      // A grant must name a chunk the target currently holds registered.
+      RegState& target = reg_[event.peer];
+      if (target.live.count(event.detail) == 0 &&
+          target.draining.count(event.detail) == 0) {
+        fail(event, "rkey granted that the target never pinned (or already "
+                    "deregistered)");
+      }
+      break;
+    }
+    case ProtocolEvent::Kind::kRegChunkPinned: {
+      RegState& self = reg_[event.self];
+      if (self.live.count(event.detail) != 0) {
+        fail(event, "rkey pinned twice (rkeys must be unique per HCA)");
+      }
+      for (const auto& [rkey, chunk] : self.live) {
+        if (chunk == event.attempt) {
+          fail(event, "chunk pinned while already live under rkey " +
+                          std::to_string(rkey));
+        }
+      }
+      self.live.emplace(event.detail, event.attempt);
+      self.pinned_bytes += reg_chunk_len(event.attempt);
+      if (options_.reg_pinned_max_bytes != 0 &&
+          self.pinned_bytes > options_.reg_pinned_max_bytes) {
+        fail(event, "pinned bytes exceed reg_pinned_max_bytes (" +
+                        std::to_string(self.pinned_bytes) + " > " +
+                        std::to_string(options_.reg_pinned_max_bytes) + ")");
+      }
+      break;
+    }
+    case ProtocolEvent::Kind::kRegChunkEvicted: {
+      RegState& self = reg_[event.self];
+      auto it = self.live.find(event.detail);
+      if (it == self.live.end()) {
+        fail(event, "eviction of a chunk that is not live");
+      }
+      self.draining.emplace(it->first, it->second);
+      self.live.erase(it);
+      break;
+    }
+    case ProtocolEvent::Kind::kRegChunkDeregistered: {
+      RegState& self = reg_[event.self];
+      auto it = self.draining.find(event.detail);
+      if (it == self.draining.end()) {
+        fail(event, "deregistration of a chunk that was never drained "
+                    "(eviction must precede it)");
+      }
+      self.draining.erase(it);
+      std::uint64_t len = reg_chunk_len(event.attempt);
+      if (self.pinned_bytes < len) {
+        fail(event, "pinned-bytes accounting underflow");
+      }
+      self.pinned_bytes -= len;
+      break;
+    }
+    case ProtocolEvent::Kind::kRegRkeyInvalidated:
+      reg_invalidated_[{event.self, event.peer}].insert(event.detail);
+      break;
+    case ProtocolEvent::Kind::kRegRkeyUsed: {
+      // The core invariant: every rkey an initiator resolves for an RMA
+      // must still be registered at the target, and must not have been
+      // invalidated at this initiator.
+      auto inval = reg_invalidated_.find({event.self, event.peer});
+      if (inval != reg_invalidated_.end() &&
+          inval->second.count(event.detail) != 0) {
+        fail(event, "rkey used after this PE acknowledged its invalidation");
+      }
+      RegState& target = reg_[event.peer];
+      if (target.live.count(event.detail) == 0 &&
+          target.draining.count(event.detail) == 0) {
+        fail(event, "rkey used that is not registered at the target "
+                    "(use-after-deregistration)");
+      }
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 void InvariantChecker::check_final(core::ConduitJob& job,
@@ -257,6 +391,15 @@ void InvariantChecker::check_final(core::ConduitJob& job,
         fail(none, "both endpoints of an established pair believe they are "
                    "the client (collision resolution broke)");
       }
+    }
+  }
+
+  for (const auto& [rank, reg] : reg_) {
+    none.self = rank;
+    none.peer = rank;
+    if (!reg.draining.empty()) {
+      fail(none, "run ended with a registration eviction drain still in "
+                 "flight (invalidation acks missing)");
     }
   }
 

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -62,6 +63,15 @@ class InvariantChecker final : public core::ProtocolObserver {
     /// Ranks per node, for same-node classification. Required (non-zero)
     /// to check kShmIssued routing; 0 disables the topology checks.
     std::uint32_t ranks_per_node = 0;
+    /// Non-zero: the job runs `registration = kOnDemand` with this chunk
+    /// size, enabling the registration invariants (rkey liveness, pin-cap
+    /// accounting, no use after invalidation).
+    std::uint64_t reg_chunk_bytes = 0;
+    /// Mirrors ShmemConfig::reg_pinned_max_bytes (0 = uncapped).
+    std::uint64_t reg_pinned_max_bytes = 0;
+    /// Per-PE heap size, for exact partial-last-chunk accounting against
+    /// the pin cap (0 = assume every chunk is full-sized).
+    std::uint64_t reg_heap_bytes = 0;
   };
 
   InvariantChecker() = default;
@@ -93,6 +103,17 @@ class InvariantChecker final : public core::ProtocolObserver {
 
   using PairKey = std::pair<fabric::RankId, fabric::RankId>;
 
+  /// Registration-protocol state of one *target* PE (rkeys are only unique
+  /// within one HCA, so liveness is tracked per target rank).
+  struct RegState {
+    /// rkey -> chunk, for every currently-pinned chunk.
+    std::map<std::uint64_t, std::uint32_t> live{};
+    /// Evicted but not yet deregistered (use is still legal: the drain
+    /// holds the registration until every sharer acked).
+    std::map<std::uint64_t, std::uint32_t> draining{};
+    std::uint64_t pinned_bytes = 0;
+  };
+
   [[noreturn]] void fail(const core::ProtocolEvent& event,
                          const std::string& reason) const;
   /// Same-node classification per `Options::ranks_per_node` (false when
@@ -102,11 +123,19 @@ class InvariantChecker final : public core::ProtocolObserver {
            a / options_.ranks_per_node == b / options_.ranks_per_node;
   }
   void check_phase_change(const core::ProtocolEvent& event, PairState& pair);
+  void check_reg_event(const core::ProtocolEvent& event);
+  [[nodiscard]] std::uint64_t reg_chunk_len(std::uint32_t chunk) const;
   void remember(const core::ProtocolEvent& event);
   [[nodiscard]] static std::string format(const core::ProtocolEvent& event);
 
   Options options_{};
   std::map<PairKey, PairState> pairs_{};
+  /// Keyed by the target rank that owns the chunks.
+  std::map<fabric::RankId, RegState> reg_{};
+  /// Rkeys each initiator dropped on an invalidation notice, keyed by
+  /// (initiator, target): a later use by that initiator is a violation
+  /// even if the target has not deregistered yet.
+  std::map<PairKey, std::set<std::uint64_t>> reg_invalidated_{};
   std::deque<std::string> history_{};
   std::uint64_t events_seen_ = 0;
 };

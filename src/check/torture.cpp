@@ -111,7 +111,7 @@ TortureResult run_case(const TortureCase& c) {
         });
     if (on_demand) {
       conduit.set_payload_hooks(
-          [self]() { return encode_rank(self); },
+          [self](fabric::RankId) { return encode_rank(self); },
           [&body_failure](fabric::RankId peer,
                           std::span<const std::byte> payload) {
             std::uint64_t value = ~0ULL;

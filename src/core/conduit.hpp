@@ -58,8 +58,11 @@ using AmHandler =
     std::function<sim::Task<>(RankId src, std::vector<std::byte> payload)>;
 
 /// Provider of the opaque payload appended to connection request/reply
-/// packets (OpenSHMEM: serialized segment triplets, §IV-C).
-using PayloadProvider = std::function<std::vector<std::byte>()>;
+/// packets (OpenSHMEM: serialized segment triplets, §IV-C). `peer` is the
+/// rank the packet is addressed to, so upper layers that piggyback
+/// peer-specific state (the on-demand registration mode records the peer
+/// as a sharer of every rkey it hands out) know who will consume it.
+using PayloadProvider = std::function<std::vector<std::byte>(RankId peer)>;
 /// Consumer of the peer's piggybacked payload.
 using PayloadConsumer =
     std::function<void(RankId peer, std::span<const std::byte> payload)>;
@@ -207,6 +210,11 @@ class Conduit {
   [[nodiscard]] std::size_t retired_qp_count() const noexcept {
     return retired_qps_.size();
   }
+
+  /// Report an upper-layer protocol event (e.g. the shmem registration
+  /// protocol's kReg* kinds) into the job-wide observer stream. `self` and
+  /// `time` are filled in here, exactly like conduit-internal events.
+  void report_event(ProtocolEvent event) { notify(event); }
 
  private:
   friend class ConduitJob;

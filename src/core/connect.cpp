@@ -168,7 +168,7 @@ sim::Task<> Conduit::client_connect(RankId dst, std::uint32_t serial) {
   request.src_rank = rank_;
   request.rc_addr = qp->addr();
   if (payload_provider_) {
-    request.payload = payload_provider_();
+    request.payload = payload_provider_(dst);
   }
   // Encoded once, shared across every retransmission (and with every
   // delivered copy of the datagram) instead of re-copied per attempt.
@@ -344,7 +344,7 @@ sim::Task<> Conduit::serve_request(RankId src,
   reply.src_rank = rank_;
   reply.rc_addr = qp->addr();
   if (payload_provider_) {
-    reply.payload = payload_provider_();
+    reply.payload = payload_provider_(src);
   }
   p.cached_reply = reply.encode_shared();
   p.reply_to = reply_to;

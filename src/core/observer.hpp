@@ -76,6 +76,25 @@ struct ProtocolEvent {
     kRdmaIssued,        ///< A put/get/atomic was issued toward `peer`.
     kShmIssued,         ///< An op was routed over the intra-node shm
                         ///< transport (no connection involved).
+
+    // ---- on-demand registration protocol (fabric/reg, DESIGN.md §5.15).
+    // Only emitted when `registration == on_demand`; the eager default
+    // produces none of these, keeping its event stream bit-identical.
+    kRegFault,          ///< `self` sent an rkey-fault for `peer`'s chunk
+                        ///< (`attempt` = chunk index).
+    kRegFaultServed,    ///< The fault reply arrived at `self`; `attempt` =
+                        ///< chunk, `detail` = granted rkey.
+    kRegChunkPinned,    ///< `self` (the target) registered chunk `attempt`
+                        ///< under rkey `detail`; `peer` = requester (or
+                        ///< `self` for cap-driven internal pins).
+    kRegChunkEvicted,   ///< `self` selected chunk `attempt` (rkey `detail`)
+                        ///< for eviction and began the invalidation drain.
+    kRegChunkDeregistered,  ///< All invalidation acks arrived; chunk
+                            ///< `attempt` (rkey `detail`) was deregistered.
+    kRegRkeyInvalidated,    ///< `self` dropped its cached rkey `detail` for
+                            ///< `peer`'s chunk `attempt` on a notice.
+    kRegRkeyUsed,       ///< `self` resolved rkey `detail` of `peer`'s chunk
+                        ///< `attempt` for an RMA (invariant: must be live).
   };
 
   Kind kind = Kind::kPhaseChange;
@@ -84,7 +103,9 @@ struct ProtocolEvent {
   PeerPhase from = PeerPhase::kIdle;  ///< kPhaseChange only.
   PeerPhase to = PeerPhase::kIdle;    ///< kPhaseChange only.
   PeerRole role = PeerRole::kNone;
-  std::uint32_t attempt = 0;  ///< kRetransmit only.
+  std::uint32_t attempt = 0;  ///< kRetransmit attempt / kReg* chunk index.
+  /// Kind-specific payload: the rkey for kReg* events, 0 elsewhere.
+  std::uint64_t detail = 0;
   /// Virtual time of the event; filled in by the conduit at report time so
   /// timeline consumers (telemetry::ConnectionTimeline) need no engine
   /// access.

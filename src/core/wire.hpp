@@ -189,6 +189,56 @@ struct AmPacket {
   }
 };
 
+/// Message kinds of the on-demand registration protocol (DESIGN.md §5.15),
+/// carried as active messages on the shmem layer's registration handler.
+enum class RegMsgType : std::uint8_t {
+  kFaultRequest = 1,   ///< "Register chunk N of your heap and grant me its
+                       ///< rkey" — sent on an RMA against a cold chunk.
+  kFaultReply = 2,     ///< Grant: chunk N is pinned under `rkey`.
+  kInvalidate = 3,     ///< Target evicted chunk N; drop cached `rkey`.
+  kInvalidateAck = 4,  ///< Initiator's leases on `rkey` drained; safe to
+                       ///< deregister.
+};
+
+/// One registration-protocol message. Fixed 13-byte layout
+/// (type + chunk + rkey); decode validates the type tag, the rkey domain
+/// (grants and notices always carry a non-zero rkey; fault requests carry
+/// zero) and rejects trailing bytes, so truncated / type-confused /
+/// oversized frames fail loudly (tests/core/wire_fuzz_test.cpp).
+struct RegPacket {
+  RegMsgType type = RegMsgType::kFaultRequest;
+  std::uint32_t chunk = 0;
+  fabric::RKey rkey = 0;
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    out.reserve(1 + 4 + 8);
+    wire::put_u8(out, static_cast<std::uint8_t>(type));
+    wire::put_int<std::uint32_t>(out, chunk);
+    wire::put_int<std::uint64_t>(out, rkey);
+    return out;
+  }
+
+  static RegPacket decode(std::span<const std::byte> data) {
+    wire::Reader reader(data);
+    RegPacket packet;
+    auto raw_type = reader.read_int<std::uint8_t>();
+    if (raw_type < static_cast<std::uint8_t>(RegMsgType::kFaultRequest) ||
+        raw_type > static_cast<std::uint8_t>(RegMsgType::kInvalidateAck)) {
+      throw std::runtime_error("RegPacket: unknown message type");
+    }
+    packet.type = static_cast<RegMsgType>(raw_type);
+    packet.chunk = reader.read_int<std::uint32_t>();
+    packet.rkey = reader.read_int<std::uint64_t>();
+    reader.expect_end();
+    bool wants_rkey = packet.type != RegMsgType::kFaultRequest;
+    if (wants_rkey != (packet.rkey != 0)) {
+      throw std::runtime_error("RegPacket: rkey/type mismatch");
+    }
+    return packet;
+  }
+};
+
 /// Encoding of a UD endpoint address for the PMI key-value store.
 inline std::string encode_endpoint(fabric::EndpointAddr addr) {
   std::string out(6, '\0');

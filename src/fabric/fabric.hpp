@@ -250,9 +250,17 @@ class Hca {
   /// Register `[start, start+len)` of `space` (charges registration cost
   /// proportional to the page count). Returns the `<addr, size, rkey>`
   /// triplet. `space` must outlive the registration.
-  [[nodiscard]] sim::Task<MemoryRegion> register_memory(AddressSpace& space,
-                                                        VirtAddr start,
-                                                        std::uint64_t len);
+  ///
+  /// `modeled_len` (when non-zero) replaces `len` in the *cost model* only:
+  /// pin-down time is charged as if `modeled_len` bytes were registered
+  /// while the region itself still covers `len` bytes of backing store.
+  /// This is the single place the modeled-heap scaling of DESIGN.md §2 is
+  /// applied; both the eager whole-heap path and the chunked on-demand
+  /// path (fabric/reg) charge through it, so the two modes stay directly
+  /// comparable in the startup breakdowns.
+  [[nodiscard]] sim::Task<MemoryRegion> register_memory(
+      AddressSpace& space, VirtAddr start, std::uint64_t len,
+      std::uint64_t modeled_len = 0);
 
   void deregister_memory(RKey rkey);
 
@@ -298,7 +306,8 @@ class Hca {
   sim::Task<> destroy_qp_impl(Qpn qpn);
   sim::Task<MemoryRegion> register_memory_impl(AddressSpace& space,
                                                VirtAddr start,
-                                               std::uint64_t len);
+                                               std::uint64_t len,
+                                               std::uint64_t modeled_len);
 
   Fabric& fabric_;
   NodeId node_;

@@ -62,19 +62,21 @@ QueuePair* Hca::find_qp(Qpn qpn) noexcept {
 }
 
 sim::Task<MemoryRegion> Hca::register_memory(AddressSpace& space,
-                                             VirtAddr start,
-                                             std::uint64_t len) {
+                                             VirtAddr start, std::uint64_t len,
+                                             std::uint64_t modeled_len) {
   if (!space.contains(start, len)) {
     throw std::out_of_range("Hca::register_memory: range outside space");
   }
-  return register_memory_impl(space, start, len);
+  return register_memory_impl(space, start, len, modeled_len);
 }
 
 sim::Task<MemoryRegion> Hca::register_memory_impl(AddressSpace& space,
                                                   VirtAddr start,
-                                                  std::uint64_t len) {
+                                                  std::uint64_t len,
+                                                  std::uint64_t modeled_len) {
   const auto& cfg = fabric_.config();
-  std::uint64_t pages = (len + cfg.page_size - 1) / cfg.page_size;
+  std::uint64_t cost_len = modeled_len != 0 ? modeled_len : len;
+  std::uint64_t pages = (cost_len + cfg.page_size - 1) / cfg.page_size;
   co_await fabric_.engine().delay(cfg.mem_reg_base_cost +
                                   pages * cfg.mem_reg_per_page_cost);
   RKey rkey = next_rkey_++;

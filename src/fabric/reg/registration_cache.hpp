@@ -1,0 +1,195 @@
+// Target-side chunked pin-down cache for on-demand memory registration.
+//
+// The eager path registers the whole symmetric heap during `start_pes`,
+// paying the full per-page pin-down cost up front (DESIGN.md §2). On
+// machines where the heap is large and mostly cold that cost dominates
+// startup — the same observation that motivates on-demand *connections* in
+// the source paper applies to *registration*. `RegistrationCache` instead
+// divides the heap into fixed-size chunks and registers a chunk only when a
+// remote PE first faults on it; a configurable pin cap bounds the total
+// registered ("pinned") bytes, with LRU eviction and an epoch-guarded
+// invalidation drain mirroring the conduit's disconnect-notice protocol
+// (DESIGN.md §5.15).
+//
+// Layering: this lives in the fabric library (it manipulates `Hca` memory
+// regions directly) and knows nothing about the conduit or wire formats.
+// The shmem layer supplies two callbacks: `InvalidateFn` broadcasts
+// rkey-invalidation notices to the sharer set and `EventFn` republishes
+// cache transitions as `ProtocolEvent`s for the invariant checker and the
+// telemetry timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fabric/address_space.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/types.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace odcm::fabric::reg {
+
+/// Tuning knobs for one PE's pin-down cache (mirrors `ShmemConfig`).
+struct RegCacheConfig {
+  /// Registration granularity. Must be non-zero and a multiple of 8 so a
+  /// 64-bit atomic can never straddle a chunk boundary.
+  std::uint64_t chunk_bytes = 2 * 1024 * 1024;
+  /// Upper bound on simultaneously pinned bytes (0 = uncapped). When the
+  /// cap is reached, the least-recently-used chunk is drained and evicted.
+  std::uint64_t pinned_max_bytes = 0;
+  /// Modeled heap size for the registration cost model (0 = actual size).
+  /// Each chunk charges its proportional share, so pinning every chunk
+  /// costs the same virtual time as one eager whole-heap registration.
+  std::uint64_t modeled_bytes = 0;
+};
+
+/// Lifecycle of one heap chunk inside the cache.
+enum class ChunkPhase : std::uint8_t {
+  kCold,         ///< Not registered; a fault must pin it.
+  kRegistering,  ///< A fault won the race and is registering it now.
+  kPinned,       ///< Registered; rkey live, serving RMAs.
+  kDraining,     ///< Evicted; invalidation notices out, awaiting acks.
+};
+
+/// Cache transition reported through `EventFn`.
+enum class RegEvent : std::uint8_t {
+  kPinned,        ///< Chunk registered (rkey granted).
+  kEvicted,       ///< Chunk chosen as LRU victim; drain began.
+  kDeregistered,  ///< Drain complete; rkey destroyed.
+};
+
+class RegistrationCache {
+ public:
+  /// Sends an rkey-invalidation notice for (`chunk`, `rkey`) to every rank
+  /// in `sharers`. The cache counts the matching acks (delivered through
+  /// `on_invalidate_ack`) before deregistering.
+  using InvalidateFn = std::function<sim::Task<>(
+      std::uint32_t chunk, RKey rkey, std::vector<RankId> sharers)>;
+  /// Observer hook for cache transitions; `peer` is the requester for
+  /// kPinned and the owning rank itself otherwise.
+  using EventFn = std::function<void(RegEvent event, std::uint32_t chunk,
+                                     RKey rkey, RankId peer)>;
+
+  /// `space` is the owning PE's symmetric heap; `stats` receives the
+  /// `reg_*` counters and the `lazy_registration` phase time.
+  RegistrationCache(Hca& hca, AddressSpace& space, RegCacheConfig config,
+                    sim::StatSet& stats);
+
+  RegistrationCache(const RegistrationCache&) = delete;
+  RegistrationCache& operator=(const RegistrationCache&) = delete;
+
+  void set_invalidate_fn(InvalidateFn fn) { invalidate_fn_ = std::move(fn); }
+  void set_event_fn(EventFn fn) { event_fn_ = std::move(fn); }
+
+  // ---- geometry -------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t chunk_count() const noexcept {
+    return static_cast<std::uint32_t>(chunks_.size());
+  }
+  /// Chunk index covering heap offset `offset` (must be < heap size).
+  [[nodiscard]] std::uint32_t chunk_of(std::uint64_t offset) const noexcept {
+    return static_cast<std::uint32_t>(offset / config_.chunk_bytes);
+  }
+  [[nodiscard]] VirtAddr chunk_base(std::uint32_t chunk) const noexcept {
+    return space_.base() + std::uint64_t{chunk} * config_.chunk_bytes;
+  }
+  [[nodiscard]] std::uint64_t chunk_len(std::uint32_t chunk) const noexcept;
+
+  // ---- target-side protocol -------------------------------------------
+
+  /// Ensure `chunk` is pinned and record `requester` as a sharer; returns
+  /// the live region. Pays the (chunk-proportional) registration cost on a
+  /// miss and may first drain an LRU victim if the pin cap is exhausted.
+  /// Concurrent faults on the same chunk coalesce onto one registration.
+  [[nodiscard]] sim::Task<MemoryRegion> acquire(std::uint32_t chunk,
+                                                RankId requester);
+
+  /// Record `peer` as a sharer of an already-pinned chunk (handshake
+  /// piggyback: the hot-chunk table was handed out, so the peer now holds
+  /// the rkey and must be part of any future invalidation drain).
+  void add_sharer(std::uint32_t chunk, RankId peer);
+
+  /// An invalidation ack from `from` for (`chunk`, `rkey`). Stale acks
+  /// (rkey mismatch — the chunk was already re-pinned under a new rkey)
+  /// are counted and dropped, exactly like the conduit's epoch-guarded
+  /// disconnect notices.
+  void on_invalidate_ack(std::uint32_t chunk, RKey rkey, RankId from);
+
+  /// Visit every pinned chunk (for the handshake piggyback hot table).
+  template <typename Fn>
+  void for_each_pinned(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < chunk_count(); ++i) {
+      if (chunks_[i].phase == ChunkPhase::kPinned) {
+        fn(i, chunks_[i].region.rkey);
+      }
+    }
+  }
+
+  /// Wait until no chunk is mid-registration or mid-drain (finalize
+  /// barrier prerequisite: a drain in flight needs peers' AM listeners).
+  [[nodiscard]] sim::Task<> quiesce();
+
+  // ---- introspection --------------------------------------------------
+
+  [[nodiscard]] std::uint64_t pinned_bytes() const noexcept {
+    return pinned_bytes_;
+  }
+  [[nodiscard]] std::uint64_t pinned_highwater() const noexcept {
+    return pinned_highwater_;
+  }
+  [[nodiscard]] ChunkPhase chunk_phase(std::uint32_t chunk) const {
+    return chunks_.at(chunk).phase;
+  }
+  [[nodiscard]] RKey chunk_rkey(std::uint32_t chunk) const {
+    return chunks_.at(chunk).region.rkey;
+  }
+  [[nodiscard]] const RegCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Chunk {
+    ChunkPhase phase = ChunkPhase::kCold;
+    MemoryRegion region{};  ///< Valid while kPinned / kDraining.
+    std::vector<RankId> sharers{};
+    std::size_t pending_acks = 0;  ///< kDraining: acks still outstanding.
+    std::uint64_t last_used = 0;   ///< LRU clock tick of the last acquire.
+    /// Notified on every phase settling (registered, drained); waiters
+    /// re-check the phase. Allocated lazily.
+    std::unique_ptr<sim::Trigger> settled{};
+  };
+
+  sim::Trigger& settled(std::uint32_t chunk);
+  sim::Trigger& any_settled();
+  void touch(std::uint32_t chunk) { chunks_[chunk].last_used = ++lru_clock_; }
+  /// Registration-cost length of `chunk` under the modeled-heap scaling.
+  [[nodiscard]] std::uint64_t modeled_chunk_len(std::uint32_t chunk) const;
+  /// Drain one LRU victim (or wait for an in-flight drain to free space).
+  /// `self` is the chunk the caller is registering: when nothing is
+  /// evictable the caller must park on the cache-wide trigger, never on a
+  /// specific chunk's — waiting on `self`'s own trigger (or on another
+  /// cap-waiter's, which is symmetrically parked) would deadlock.
+  [[nodiscard]] sim::Task<> evict_one(std::uint32_t self);
+  void complete_drain(std::uint32_t chunk);
+  void emit(RegEvent event, std::uint32_t chunk, RKey rkey, RankId peer);
+
+  Hca& hca_;
+  AddressSpace& space_;
+  RegCacheConfig config_;
+  sim::StatSet& stats_;
+  InvalidateFn invalidate_fn_{};
+  EventFn event_fn_{};
+  std::vector<Chunk> chunks_;
+  /// Notified whenever any chunk settles (pin or drain completes). Cap
+  /// waiters with nothing to evict re-check the budget on each firing.
+  std::unique_ptr<sim::Trigger> any_settled_{};
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint64_t pinned_highwater_ = 0;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace odcm::fabric::reg

@@ -14,6 +14,13 @@ namespace odcm::shmem {
 /// transport (DESIGN.md §5.14).
 using core::IntranodeTransport;
 
+/// When the symmetric heap gets registered with the HCA (DESIGN.md §5.15).
+enum class RegistrationMode : std::uint8_t {
+  kEager,     ///< Whole heap pinned during start_pes (baseline; default).
+  kOnDemand,  ///< Chunks pinned lazily on first remote access (rkey-fault
+              ///< protocol, LRU pin-down cache).
+};
+
 struct ShmemConfig {
   /// Actual bytes backing each PE's symmetric heap (data correctness).
   std::uint64_t heap_bytes = 1 << 20;
@@ -40,6 +47,20 @@ struct ShmemConfig {
 
   /// Fan-out of tree-based reductions and broadcasts.
   std::uint32_t collective_fanout = 4;
+
+  /// Symmetric-heap registration strategy. The eager default is
+  /// observably identical (traces, metrics, heap contents) to the
+  /// pre-subsystem behaviour.
+  RegistrationMode registration = RegistrationMode::kEager;
+
+  /// On-demand registration granularity. Must be a non-zero multiple of 8
+  /// so a 64-bit atomic never straddles a chunk boundary.
+  std::uint64_t reg_chunk_bytes = 2 * 1024 * 1024;
+
+  /// Pin-down cache cap in bytes (0 = uncapped): the most heap a PE keeps
+  /// registered at once under on-demand registration; LRU chunks beyond it
+  /// are invalidated and deregistered.
+  std::uint64_t reg_pinned_max_bytes = 0;
 };
 
 /// Complete job description: conduit/fabric/PMI config plus SHMEM knobs.

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fabric/reg/registration_cache.hpp"
+#include "fabric/reg/rkey_table.hpp"
 #include "shmem/job.hpp"
 #include "shmem/pe.hpp"
 
@@ -69,35 +71,49 @@ sim::Task<> ShmemPe::start_pes() {
 
   {
     sim::PhaseTimer timer(eng, st, "memory_registration");
-    heap_region_ = co_await conduit_.hca().register_memory(
-        heap_space_, heap_space_.base(), heap_space_.size());
-    // Charge the registration cost of the *modeled* heap size when it
-    // exceeds the actual backing store (DESIGN.md §2).
-    std::uint64_t modeled =
-        cfg.modeled_heap_bytes != 0 ? cfg.modeled_heap_bytes : cfg.heap_bytes;
-    if (modeled > cfg.heap_bytes) {
-      const fabric::FabricConfig& fcfg =
-          job_.conduit_job().fabric().config();
-      std::uint64_t extra_pages =
-          (modeled - cfg.heap_bytes + fcfg.page_size - 1) / fcfg.page_size;
-      co_await eng.delay(extra_pages * fcfg.mem_reg_per_page_cost);
+    if (cfg.registration == RegistrationMode::kEager) {
+      // Whole-heap pin during init. The *modeled* heap size (DESIGN.md §2)
+      // is charged inside the HCA cost model, the single place both this
+      // path and the chunked on-demand path price registration.
+      std::uint64_t modeled = std::max(
+          cfg.modeled_heap_bytes != 0 ? cfg.modeled_heap_bytes
+                                      : cfg.heap_bytes,
+          cfg.heap_bytes);
+      heap_region_ = co_await conduit_.hca().register_memory(
+          heap_space_, heap_space_.base(), heap_space_.size(), modeled);
+      segments_[rank_] =
+          SegmentInfo{heap_region_.addr, heap_region_.size, heap_region_.rkey};
+    } else {
+      // On-demand: nothing is pinned yet. Peers learn the heap geometry
+      // (rkey 0 = "fault for it") and chunks register lazily on first
+      // remote access (DESIGN.md §5.15).
+      reg_init();
+      segments_[rank_] =
+          SegmentInfo{heap_space_.base(), heap_space_.size(), 0};
     }
-    segments_[rank_] =
-        SegmentInfo{heap_region_.addr, heap_region_.size, heap_region_.rkey};
   }
 
   const bool on_demand =
       conduit_.config().connection_mode == core::ConnectionMode::kOnDemand;
   if (on_demand) {
     // Proposed design: the segment triplet rides on the connection
-    // request/reply packets (paper §IV-C).
-    conduit_.set_payload_hooks(
-        [this] { return segments_[rank_]->serialize(); },
-        [this](RankId peer, std::span<const std::byte> payload) {
-          if (!segments_[peer]) {
-            segments_[peer] = SegmentInfo::deserialize(payload);
-          }
-        });
+    // request/reply packets (paper §IV-C). Under on-demand registration
+    // the payload additionally carries the hot-chunk rkey table.
+    if (reg_on_demand()) {
+      conduit_.set_payload_hooks(
+          [this](RankId peer) { return reg_piggyback_payload(peer); },
+          [this](RankId peer, std::span<const std::byte> payload) {
+            reg_consume_payload(peer, payload);
+          });
+    } else {
+      conduit_.set_payload_hooks(
+          [this](RankId) { return segments_[rank_]->serialize(); },
+          [this](RankId peer, std::span<const std::byte> payload) {
+            if (!segments_[peer]) {
+              segments_[peer] = SegmentInfo::deserialize(payload);
+            }
+          });
+    }
   }
 
   co_await conduit_.init();
@@ -110,8 +126,8 @@ sim::Task<> ShmemPe::start_pes() {
     // (DESIGN.md §5.14). The intra-node barrier guarantees every local
     // peer has registered and exported before we read its triplet.
     sim::PhaseTimer timer(eng, st, "shm_segment_exchange");
-    co_await conduit_.shm_export(heap_space_, heap_region_.addr,
-                                 heap_region_.size);
+    co_await conduit_.shm_export(heap_space_, heap_space_.base(),
+                                 heap_space_.size());
     co_await conduit_.barrier_intranode();
     const core::ConduitJob& cj = job_.conduit_job();
     for (RankId r = 0; r < n_pes(); ++r) {
@@ -180,6 +196,11 @@ sim::Task<> ShmemPe::finalize() {
   // programs (paper §V-B) — in on-demand mode this is where Hello World
   // pays for its few tree connections.
   co_await quiet();
+  if (reg_cache_ != nullptr) {
+    // Let any in-flight registration drain settle while every peer's AM
+    // listener is still guaranteed to be serving (pre-barrier).
+    co_await reg_quiesce();
+  }
   co_await conduit_.barrier_global();
   initialized_ = false;
 }
@@ -272,6 +293,11 @@ sim::Task<> ShmemPe::put(RankId dst, SymAddr dest,
     }
     co_return;
   }
+  if (reg_on_demand()) {
+    co_await reg_put(dst, dest,
+                     std::vector<std::byte>(data.begin(), data.end()));
+    co_return;
+  }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, dest, data.size());
   fabric::Completion wc = co_await qp->rdma_write(
@@ -307,12 +333,29 @@ sim::Task<> ShmemPe::get(RankId dst, SymAddr src, std::span<std::byte> dest) {
     }
     co_return;
   }
+  if (reg_on_demand()) {
+    co_await reg_get(dst, src, dest);
+    co_return;
+  }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, src, dest.size());
   fabric::Completion wc = co_await qp->rdma_read(va, rkey, dest);
   if (!wc.ok()) {
     throw std::runtime_error("ShmemPe::get: RDMA read failed");
   }
+}
+
+void ShmemPe::get_nbi(RankId dst, SymAddr src, std::span<std::byte> dest) {
+  // Shares the outstanding-op counter with put_nbi: shmem_quiet completes
+  // both kinds (OpenSHMEM 1.3 §9.8).
+  ++pending_puts_;
+  engine().spawn([](ShmemPe& pe, RankId dst, SymAddr src,
+                    std::span<std::byte> dest) -> sim::Task<> {
+    co_await pe.get(dst, src, dest);
+    if (--pe.pending_puts_ == 0) {
+      pe.puts_drained_->notify_all();
+    }
+  }(*this, dst, src, dest));
 }
 
 // ---- atomics ----
@@ -326,6 +369,11 @@ sim::Task<std::uint64_t> ShmemPe::atomic_fetch_add(RankId dst, SymAddr addr,
   if (conduit_.shm_routes(dst)) {
     auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
     fabric::Completion wc = co_await conduit_.shm_fetch_add(dst, va, v);
+    if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+    co_return wc.atomic_old;
+  }
+  if (reg_on_demand()) {
+    fabric::Completion wc = co_await reg_atomic(dst, addr, 0, v, 0);
     if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
     co_return wc.atomic_old;
   }
@@ -360,6 +408,11 @@ sim::Task<std::uint64_t> ShmemPe::atomic_swap(RankId dst, SymAddr addr,
     if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
     co_return wc.atomic_old;
   }
+  if (reg_on_demand()) {
+    fabric::Completion wc = co_await reg_atomic(dst, addr, 1, v, 0);
+    if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+    co_return wc.atomic_old;
+  }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
   fabric::Completion wc = co_await qp->swap(va, rkey, v);
@@ -378,6 +431,12 @@ sim::Task<std::uint64_t> ShmemPe::atomic_compare_swap(RankId dst, SymAddr addr,
     auto [va, rkey] = remote_addr(dst, addr, sizeof(std::uint64_t));
     fabric::Completion wc =
         co_await conduit_.shm_compare_swap(dst, va, expect, desired);
+    if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
+    co_return wc.atomic_old;
+  }
+  if (reg_on_demand()) {
+    fabric::Completion wc =
+        co_await reg_atomic(dst, addr, 2, expect, desired);
     if (!wc.ok()) throw std::runtime_error("ShmemPe: atomic failed");
     co_return wc.atomic_old;
   }

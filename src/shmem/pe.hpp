@@ -37,6 +37,11 @@
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 
+namespace odcm::fabric::reg {
+class RegistrationCache;
+class RkeyTable;
+}  // namespace odcm::fabric::reg
+
 namespace odcm::shmem {
 
 class ShmemJob;
@@ -45,6 +50,9 @@ namespace detail {
 /// Conduit AM handler ids used by the OpenSHMEM layer.
 inline constexpr std::uint16_t kCollDataHandler = core::kFirstUserHandler;
 inline constexpr std::uint16_t kSegInfoHandler = core::kFirstUserHandler + 1;
+/// On-demand registration protocol (rkey faults / invalidations); only
+/// registered when `ShmemConfig::registration == kOnDemand`.
+inline constexpr std::uint16_t kRegHandler = core::kFirstUserHandler + 2;
 /// Collective kinds multiplexed over kCollDataHandler.
 inline constexpr std::uint8_t kBcastKind = 1;
 inline constexpr std::uint8_t kCollectKind = 2;
@@ -121,6 +129,9 @@ class ShmemPe {
   /// shmem_getmem: blocking get from `src` on PE `dst` into `dest`.
   [[nodiscard]] sim::Task<> get(RankId dst, SymAddr src,
                                 std::span<std::byte> dest);
+  /// shmem_get_nbi: non-blocking get, completed by quiet(). `dest` must
+  /// stay alive (and untouched) until the next quiet()/fence() returns.
+  void get_nbi(RankId dst, SymAddr src, std::span<std::byte> dest);
 
   template <typename T>
   [[nodiscard]] sim::Task<> put_value(RankId dst, SymAddr dest, T value) {
@@ -255,6 +266,11 @@ class ShmemPe {
     return conduit_.endpoints_created();
   }
 
+  /// The on-demand pin-down cache (nullptr under eager registration).
+  [[nodiscard]] fabric::reg::RegistrationCache* registration_cache() noexcept {
+    return reg_cache_.get();
+  }
+
  private:
   friend class ShmemJob;
 
@@ -268,6 +284,35 @@ class ShmemPe {
   sim::Task<std::uint64_t> local_atomic(SymAddr addr, std::uint64_t operand,
                                         std::uint64_t expect, int kind);
   sim::Task<> broadcast_am_segments();
+
+  // On-demand registration plumbing (implemented in pe_registration.cpp).
+  [[nodiscard]] bool reg_on_demand() const noexcept;
+  /// Construct the pin-down cache / rkey table and register the protocol
+  /// handler. Called from start_pes before conduit init.
+  void reg_init();
+  /// Connection-handshake piggyback: own segment triplet (rkey 0) plus the
+  /// hot-chunk rkey table; records `peer` as a sharer of every chunk sent.
+  std::vector<std::byte> reg_piggyback_payload(RankId peer);
+  void reg_consume_payload(RankId peer, std::span<const std::byte> payload);
+  /// kRegHandler dispatch: fault request/reply, invalidation, ack.
+  sim::Task<> handle_reg_message(RankId src, std::vector<std::byte> payload);
+  /// Resolve the rkey of `dst`'s chunk, faulting it in if cold. Coalesces
+  /// concurrent faults on the same chunk.
+  sim::Task<fabric::RKey> reg_rkey(RankId dst, std::uint32_t chunk);
+  /// Remote VA of a symmetric address, computed from the rank-deterministic
+  /// heap base (no segment-info exchange needed on this path).
+  fabric::VirtAddr reg_remote_va(RankId dst, SymAddr addr,
+                                 std::size_t len) const;
+  // Chunk-splitting RC data paths used when registration == kOnDemand.
+  sim::Task<> reg_put(RankId dst, SymAddr dest, std::vector<std::byte> data);
+  sim::Task<> reg_get(RankId dst, SymAddr src, std::span<std::byte> dest);
+  /// kind: 0 = fetch-add(a), 1 = swap(a), 2 = compare-swap(expect=a, b).
+  sim::Task<fabric::Completion> reg_atomic(RankId dst, SymAddr addr, int kind,
+                                           std::uint64_t a, std::uint64_t b);
+  void reg_report(core::ProtocolEvent::Kind kind, RankId peer,
+                  std::uint32_t chunk, std::uint64_t rkey);
+  /// Wait for in-flight chunk registrations / eviction drains to settle.
+  sim::Task<> reg_quiesce();
 
   // Collective plumbing (implemented in collectives.cpp).
   CollectState& collect_state(std::uint64_t key);
@@ -287,6 +332,10 @@ class ShmemPe {
   fabric::MemoryRegion heap_region_{};
   std::vector<std::optional<SegmentInfo>> segments_{};
   bool initialized_ = false;
+
+  // On-demand registration state (null under the eager default).
+  std::unique_ptr<fabric::reg::RegistrationCache> reg_cache_{};
+  std::unique_ptr<fabric::reg::RkeyTable> rkey_table_{};
 
   // Non-blocking put tracking for quiet().
   std::uint64_t pending_puts_ = 0;

@@ -36,6 +36,15 @@ const char* annotation_name(ProtocolEvent::Kind kind) {
     case ProtocolEvent::Kind::kRdmaIssued: return "rdma_issued";
     case ProtocolEvent::Kind::kShmIssued: return "shm_issued";
     case ProtocolEvent::Kind::kPhaseChange: return "phase_change";
+    case ProtocolEvent::Kind::kRegFault: return "reg_fault";
+    case ProtocolEvent::Kind::kRegFaultServed: return "reg_fault_served";
+    case ProtocolEvent::Kind::kRegChunkPinned: return "reg_chunk_pinned";
+    case ProtocolEvent::Kind::kRegChunkEvicted: return "reg_chunk_evicted";
+    case ProtocolEvent::Kind::kRegChunkDeregistered:
+      return "reg_chunk_deregistered";
+    case ProtocolEvent::Kind::kRegRkeyInvalidated:
+      return "reg_rkey_invalidated";
+    case ProtocolEvent::Kind::kRegRkeyUsed: return "reg_rkey_used";
   }
   return "?";
 }
@@ -134,6 +143,20 @@ void export_chrome_trace(std::ostream& out,
         }
         ev << "}}";
       }
+    }
+  }
+
+  // On-demand registration protocol steps as instant events on the owning
+  // PE's track (chunk/rkey in args). Empty under eager registration.
+  if (options.annotations) {
+    for (const auto& mark : timeline.reg_marks()) {
+      std::ostream& ev = writer.begin();
+      ev << "{\"name\":\"" << annotation_name(mark.kind)
+         << "\",\"cat\":\"reg\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kPePid
+         << ",\"tid\":" << mark.self << ",\"ts\":";
+      write_ts(ev, mark.time);
+      ev << ",\"args\":{\"peer\":" << mark.peer << ",\"chunk\":" << mark.chunk
+         << ",\"rkey\":" << mark.rkey << "}}";
     }
   }
 

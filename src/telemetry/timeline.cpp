@@ -19,6 +19,23 @@ ConnectionTimeline::Handshake* ConnectionTimeline::open_handshake(
 
 void ConnectionTimeline::on_event(const ProtocolEvent& event) {
   ++events_seen_;
+
+  switch (event.kind) {
+    case ProtocolEvent::Kind::kRegFault:
+    case ProtocolEvent::Kind::kRegFaultServed:
+    case ProtocolEvent::Kind::kRegChunkPinned:
+    case ProtocolEvent::Kind::kRegChunkEvicted:
+    case ProtocolEvent::Kind::kRegChunkDeregistered:
+    case ProtocolEvent::Kind::kRegRkeyInvalidated:
+    case ProtocolEvent::Kind::kRegRkeyUsed:
+      // Registration-protocol events are point marks, not phase spans; they
+      // never attach to a handshake record.
+      on_reg_event(event);
+      return;
+    default:
+      break;
+  }
+
   PairState& s = state(event.self, event.peer);
 
   if (event.kind != ProtocolEvent::Kind::kPhaseChange) {
@@ -110,6 +127,44 @@ void ConnectionTimeline::on_event(const ProtocolEvent& event) {
 
   s.phase = event.to;
   s.phase_start = event.time;
+}
+
+void ConnectionTimeline::on_reg_event(const ProtocolEvent& event) {
+  reg_marks_.push_back(RegMark{event.kind, event.self, event.peer,
+                               event.attempt, event.detail, event.time});
+  if (registry_ == nullptr) return;
+  switch (event.kind) {
+    case ProtocolEvent::Kind::kRegFault:
+      registry_->add("reg/faults");
+      open_faults_[{event.self, event.peer, event.attempt}] = event.time;
+      break;
+    case ProtocolEvent::Kind::kRegFaultServed: {
+      registry_->add("reg/faults_served");
+      auto it = open_faults_.find({event.self, event.peer, event.attempt});
+      if (it != open_faults_.end()) {
+        registry_->observe("reg/fault_latency", event.time - it->second);
+        open_faults_.erase(it);
+      }
+      break;
+    }
+    case ProtocolEvent::Kind::kRegChunkPinned:
+      registry_->add("reg/chunks_pinned");
+      break;
+    case ProtocolEvent::Kind::kRegChunkEvicted:
+      registry_->add("reg/chunks_evicted");
+      break;
+    case ProtocolEvent::Kind::kRegChunkDeregistered:
+      registry_->add("reg/chunks_deregistered");
+      break;
+    case ProtocolEvent::Kind::kRegRkeyInvalidated:
+      registry_->add("reg/rkeys_invalidated");
+      break;
+    case ProtocolEvent::Kind::kRegRkeyUsed:
+      registry_->add("reg/rkey_uses");
+      break;
+    default:
+      break;
+  }
 }
 
 void ConnectionTimeline::finish(sim::Time now) {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -64,8 +65,22 @@ class ConnectionTimeline : public core::ProtocolObserver {
     std::vector<Annotation> annotations;
   };
 
+  /// One on-demand-registration protocol step (kReg* event), kept as a
+  /// point mark so the Chrome exporter can render instant events on the
+  /// owning PE's track.
+  struct RegMark {
+    core::ProtocolEvent::Kind kind;
+    fabric::RankId self;
+    fabric::RankId peer;
+    std::uint32_t chunk;
+    std::uint64_t rkey;
+    sim::Time time;
+  };
+
   /// An optional registry receives aggregate protocol metrics
-  /// (`conn/handshake_time` histogram, `conn/retransmits` counter, ...).
+  /// (`conn/handshake_time` histogram, `conn/retransmits` counter, ...,
+  /// plus the `reg/*` registration counters and the `reg/fault_latency`
+  /// histogram of fault-send → grant-arrival round trips).
   explicit ConnectionTimeline(MetricsRegistry* registry = nullptr)
       : registry_(registry) {}
 
@@ -80,6 +95,9 @@ class ConnectionTimeline : public core::ProtocolObserver {
   }
   [[nodiscard]] const std::vector<Handshake>& handshakes() const noexcept {
     return handshakes_;
+  }
+  [[nodiscard]] const std::vector<RegMark>& reg_marks() const noexcept {
+    return reg_marks_;
   }
   [[nodiscard]] std::uint64_t events_seen() const noexcept {
     return events_seen_;
@@ -96,11 +114,18 @@ class ConnectionTimeline : public core::ProtocolObserver {
 
   PairState& state(fabric::RankId self, fabric::RankId peer);
   Handshake* open_handshake(PairState& s);
+  void on_reg_event(const core::ProtocolEvent& event);
 
   MetricsRegistry* registry_;
   std::map<std::pair<fabric::RankId, fabric::RankId>, PairState> pairs_{};
   std::vector<PhaseInterval> intervals_{};
   std::vector<Handshake> handshakes_{};
+  std::vector<RegMark> reg_marks_{};
+  /// Send time of the in-flight rkey fault per (initiator, target, chunk),
+  /// for the reg/fault_latency histogram.
+  std::map<std::tuple<fabric::RankId, fabric::RankId, std::uint32_t>,
+           sim::Time>
+      open_faults_{};
   std::uint64_t events_seen_ = 0;
 };
 

@@ -206,6 +206,162 @@ TEST(InvariantChecker, RejectsRcRmaTowardSameNodePeerUnderShm) {
       InvariantViolation);
 }
 
+// ---- registration invariants (on-demand memory registration) ----
+
+ProtocolEvent reg_event(ProtocolEvent::Kind kind, fabric::RankId self,
+                        fabric::RankId peer, std::uint32_t chunk,
+                        std::uint64_t rkey) {
+  ProtocolEvent event;
+  event.kind = kind;
+  event.self = self;
+  event.peer = peer;
+  event.attempt = chunk;
+  event.detail = rkey;
+  return event;
+}
+
+InvariantChecker::Options reg_options(std::uint64_t cap = 0) {
+  InvariantChecker::Options options;
+  options.reg_chunk_bytes = 8192;
+  options.reg_pinned_max_bytes = cap;
+  return options;
+}
+
+TEST(InvariantChecker, RejectsRegEventsWhenNotConfigured) {
+  InvariantChecker checker;  // reg_chunk_bytes == 0
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsSeededUseAfterInvalidationAck) {
+  // The acceptance scenario: target 1 pins chunk 2 under rkey 50, the
+  // initiator 0 acknowledges its invalidation, and then a (seeded-buggy)
+  // initiator uses the dead rkey anyway. The checker must reject the use
+  // even though the target has not deregistered yet.
+  InvariantChecker checker(reg_options());
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkEvicted, 1, 1, 2, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegRkeyInvalidated, 0, 1, 2, 50));
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegRkeyUsed, 0, 1, 2, 50)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, AcceptsUseDuringDrainByUnackedSharer) {
+  // A *different* initiator that has not acked yet may legally keep using
+  // the rkey while the drain is in flight — the target holds the
+  // registration until every sharer acked.
+  InvariantChecker checker(reg_options());
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkEvicted, 1, 1, 2, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegRkeyInvalidated, 0, 1, 2, 50));
+  // Initiator 3 never saw (or never acked) the notice: still legal.
+  checker.on_event(reg_event(ProtocolEvent::Kind::kRegRkeyUsed, 3, 1, 2, 50));
+  EXPECT_EQ(checker.events_seen(), 4u);
+}
+
+TEST(InvariantChecker, RejectsUseOfUnregisteredRkey) {
+  InvariantChecker checker(reg_options());
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegRkeyUsed, 0, 1, 2, 50)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsUseAfterDeregistration) {
+  InvariantChecker checker(reg_options());
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkEvicted, 1, 1, 2, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkDeregistered, 1, 1, 2, 50));
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegRkeyUsed, 0, 1, 2, 50)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsGrantOfUnpinnedRkey) {
+  InvariantChecker checker(reg_options());
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegFaultServed, 0, 1, 2, 50)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsRkeyReuseAndDoublePin) {
+  InvariantChecker checker(reg_options());
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50));
+  // Same rkey again (rkeys are never reused per HCA).
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 3, 50)),
+               InvariantViolation);
+  // Same chunk under a second rkey while still live.
+  InvariantChecker checker2(reg_options());
+  checker2.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50));
+  EXPECT_THROW(checker2.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 51)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, RejectsPinOverCap) {
+  // Cap of exactly one 8192-byte chunk: a second simultaneous pin must
+  // blow the budget.
+  InvariantChecker checker(reg_options(8192));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 0, 50));
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 1, 51)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, PartialLastChunkCountsExactBytes) {
+  // Heap of 20 KiB with 8 KiB chunks: chunk 2 is only 4 KiB. With the
+  // heap size configured, pinning all three chunks fits a 20 KiB cap.
+  InvariantChecker::Options options = reg_options(20 * 1024);
+  options.reg_heap_bytes = 20 * 1024;
+  InvariantChecker checker(options);
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 0, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 1, 51));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 52));
+  EXPECT_EQ(checker.events_seen(), 3u);
+}
+
+TEST(InvariantChecker, RejectsDeregWithoutEviction) {
+  InvariantChecker checker(reg_options());
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50));
+  EXPECT_THROW(checker.on_event(reg_event(
+                   ProtocolEvent::Kind::kRegChunkDeregistered, 1, 1, 2, 50)),
+               InvariantViolation);
+}
+
+TEST(InvariantChecker, FinalAuditRejectsOpenDrain) {
+  sim::Engine engine;
+  core::JobConfig config;
+  config.ranks = 2;
+  config.ranks_per_node = 1;
+  core::ConduitJob job(engine, config);
+
+  InvariantChecker checker(reg_options());
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkPinned, 1, 0, 2, 50));
+  checker.on_event(
+      reg_event(ProtocolEvent::Kind::kRegChunkEvicted, 1, 1, 2, 50));
+  // The eviction drain never completed: the run must not end like this.
+  EXPECT_THROW(checker.check_final(job, false), InvariantViolation);
+}
+
 TEST(InvariantChecker, ShmJobPassesEndToEndWithZeroSameNodeHandshakes) {
   // End-to-end regression: an on-demand job with the shm transport sends to
   // every peer; same-node traffic never leaves Idle, cross-node traffic

@@ -197,7 +197,7 @@ TEST(Conduit, PayloadPiggybackDeliversBothDirections) {
     });
     std::string mine = "segment-of-" + std::to_string(c.rank());
     c.set_payload_hooks(
-        [mine] {
+        [mine](RankId) {
           std::vector<std::byte> out(mine.size());
           std::memcpy(out.data(), mine.data(), mine.size());
           return out;

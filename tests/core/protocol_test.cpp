@@ -180,7 +180,7 @@ TEST(Protocol, ServerNotReadyHoldsReply) {
       co_return;
     });
     c.set_payload_hooks(
-        [&c] {
+        [&c](RankId) {
           return std::vector<std::byte>(
               static_cast<std::size_t>(c.rank()) + 1);
         },

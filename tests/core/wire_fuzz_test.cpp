@@ -196,6 +196,98 @@ TEST(AmPacketFuzz, RandomBuffersRoundTripOrThrow) {
   }
 }
 
+// ---- RegPacket decoder (on-demand registration protocol) ----
+
+RegPacket sample_reg_packet() {
+  RegPacket packet;
+  packet.type = RegMsgType::kFaultReply;
+  packet.chunk = 17;
+  packet.rkey = 0xDEADBEEF01ULL;
+  return packet;
+}
+
+TEST(RegPacketFuzz, EveryTruncationThrows) {
+  std::vector<std::byte> wire = sample_reg_packet().encode();
+  ASSERT_EQ(wire.size(), 13u);  // u8 type + u32 chunk + u64 rkey
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::vector<std::byte> cut(wire.begin(),
+                               wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(RegPacket::decode(cut), std::runtime_error)
+        << "truncation to " << len << " bytes accepted";
+  }
+}
+
+TEST(RegPacketFuzz, TrailingGarbageThrows) {
+  std::vector<std::byte> wire = sample_reg_packet().encode();
+  wire.push_back(std::byte{0x5a});
+  EXPECT_THROW(RegPacket::decode(wire), std::runtime_error);
+}
+
+TEST(RegPacketFuzz, UnknownTypeByteThrows) {
+  // Type confusion: 0 and anything above kInvalidateAck must be rejected
+  // before the rkey field is even looked at.
+  std::vector<std::byte> wire = sample_reg_packet().encode();
+  for (int bad : {0, 5, 6, 127, 255}) {
+    wire[0] = static_cast<std::byte>(bad);
+    EXPECT_THROW(RegPacket::decode(wire), std::runtime_error)
+        << "type byte " << bad << " accepted";
+  }
+}
+
+TEST(RegPacketFuzz, RkeyDomainMismatchThrows) {
+  // A fault *request* carries no rkey; every other type must carry one.
+  // A request smuggling an rkey (or a grant/notice with rkey 0) is a
+  // protocol violation, not a decodable packet.
+  RegPacket request;
+  request.type = RegMsgType::kFaultRequest;
+  request.chunk = 3;
+  request.rkey = 1234;
+  EXPECT_THROW(RegPacket::decode(request.encode()), std::runtime_error);
+
+  for (RegMsgType type : {RegMsgType::kFaultReply, RegMsgType::kInvalidate,
+                          RegMsgType::kInvalidateAck}) {
+    RegPacket keyless;
+    keyless.type = type;
+    keyless.chunk = 3;
+    keyless.rkey = 0;
+    EXPECT_THROW(RegPacket::decode(keyless.encode()), std::runtime_error)
+        << "rkey 0 accepted for type " << static_cast<int>(type);
+  }
+}
+
+TEST(RegPacketFuzz, RandomBytesNeverReadOutOfBounds) {
+  sim::Rng rng(0xF024u);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::size_t size = rng.next_below(32);
+    std::vector<std::byte> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+    try {
+      RegPacket packet = RegPacket::decode(data);
+      EXPECT_EQ(packet.encode(), data) << "iter " << iter;
+    } catch (const std::runtime_error&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST(RegPacketFuzz, RandomValidPacketsRoundTrip) {
+  sim::Rng rng(0xF025u);
+  for (int iter = 0; iter < 500; ++iter) {
+    RegPacket packet;
+    packet.type = static_cast<RegMsgType>(1 + rng.next_below(4));
+    packet.chunk = static_cast<std::uint32_t>(rng.next_u64());
+    packet.rkey = packet.type == RegMsgType::kFaultRequest
+                      ? 0
+                      : rng.next_u64() | 1;  // non-zero
+    RegPacket decoded = RegPacket::decode(packet.encode());
+    EXPECT_EQ(decoded.type, packet.type);
+    EXPECT_EQ(decoded.chunk, packet.chunk);
+    EXPECT_EQ(decoded.rkey, packet.rkey);
+  }
+}
+
 // ---- PMI endpoint encoding ----
 
 TEST(EndpointCodec, BadLengthsThrow) {

@@ -145,6 +145,33 @@ TEST(PutNbi, QuietDrainsAll) {
   }));
 }
 
+TEST(GetNbi, QuietCompletesAll) {
+  JobEnv env(small_job(2, 1));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    SymAddr slot = pe.heap().allocate(8 * 16);
+    if (pe.rank() == 1) {
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        pe.local_write<std::uint64_t>(slot + i * 8, i * 7);
+      }
+    }
+    co_await pe.barrier_all();
+    if (pe.rank() == 0) {
+      std::vector<std::uint64_t> dest(16, 0);
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        pe.get_nbi(1, slot + i * 8,
+                   std::as_writable_bytes(std::span(&dest[i], 1)));
+      }
+      // Until quiet() the values are undefined; after it, all must have
+      // landed.
+      co_await pe.quiet();
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(dest[i], i * 7);
+      }
+    }
+    co_await pe.barrier_all();
+  }));
+}
+
 TEST(Atomics, FullPaperSet) {
   // fadd, finc, add, inc, cswap, swap — the six of Fig 6(c).
   JobEnv env(small_job(2, 1));

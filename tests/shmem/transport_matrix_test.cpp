@@ -182,6 +182,62 @@ TEST(TransportMatrix, ShmMatchesRcBaselineByteForByte) {
   }
 }
 
+// Registration row of the matrix (ISSUE 7 satellite): the same workload
+// under {eager, on_demand} registration × {rc, shm} intranode transport
+// must produce byte-identical heaps. On-demand registration changes *when*
+// chunks are pinned and *which* rkeys carry each RMA — never the bytes.
+TEST(TransportMatrix, RegistrationModesMatchByteForByte) {
+  auto run_reg_cell = [](RegistrationMode registration,
+                         IntranodeTransport transport) {
+    core::ConduitConfig conduit = core::proposed_design();
+    conduit.intranode_transport = transport;
+    ShmemJobConfig config = small_job(kPes, 4, conduit);
+    config.shmem.registration = registration;
+    config.shmem.reg_chunk_bytes = 8192;  // several chunks per 64 KiB heap
+    JobEnv env(config);
+    env.run(
+        with_init([](ShmemPe& pe) -> sim::Task<> { co_await workload(pe); }));
+
+    if (registration == RegistrationMode::kOnDemand &&
+        transport == IntranodeTransport::kRc) {
+      // The lazy path must actually have served faults.
+      sim::StatSet totals = env.job.conduit_job().aggregate_stats();
+      EXPECT_GT(totals.counter("reg_faults_served"), 0);
+    }
+
+    std::vector<std::vector<std::byte>> heaps;
+    heaps.reserve(kPes);
+    for (RankId r = 0; r < kPes; ++r) {
+      auto window =
+          env.job.pe(r).local_window(0, env.job.shmem_config().heap_bytes);
+      heaps.emplace_back(window.begin(), window.end());
+    }
+    return heaps;
+  };
+
+  auto baseline =
+      run_reg_cell(RegistrationMode::kEager, IntranodeTransport::kRc);
+  struct RegCell {
+    RegistrationMode registration;
+    IntranodeTransport transport;
+    const char* name;
+  };
+  const RegCell cells[] = {
+      {RegistrationMode::kEager, IntranodeTransport::kShm, "eager/shm"},
+      {RegistrationMode::kOnDemand, IntranodeTransport::kRc, "on_demand/rc"},
+      {RegistrationMode::kOnDemand, IntranodeTransport::kShm,
+       "on_demand/shm"},
+  };
+  for (const RegCell& cell : cells) {
+    SCOPED_TRACE(cell.name);
+    auto heaps = run_reg_cell(cell.registration, cell.transport);
+    ASSERT_EQ(heaps.size(), baseline.size());
+    for (RankId r = 0; r < kPes; ++r) {
+      EXPECT_EQ(heaps[r], baseline[r]) << "heap contents diverged at pe" << r;
+    }
+  }
+}
+
 // With on-demand + shm at PPN 4, same-node pairs must not consume RC QPs:
 // every same-node peer stays phase-Idle and the shm peer counter accounts
 // for the node-local traffic instead.
