@@ -40,7 +40,11 @@ struct CliOptions {
   std::uint32_t ranks = 6;
   std::uint32_t ppn = 3;
   std::uint32_t rounds = 4;
+  std::uint64_t schedule_seed = 0;   // replay: event tie-break seed
+  std::uint64_t schedule_jitter = 0; // bounded per-event latency jitter
+  std::uint32_t schedule_seeds = 0;  // sweep: tie-break seeds per case
   bool inject_dup_bug = false;
+  bool inject_schedule_bug = false;
   bool verbose = false;
   std::string json_path{};
 };
@@ -55,10 +59,15 @@ void usage() {
              std::to_string(FaultPlan::kRecipeCount - 1) +
              " (with --seed; default all)\n"
          "  --mode M           0=on-demand 1=static 2=eviction-capped "
-         "3=intranode-shm (default all)\n"
+         "3=intranode-shm 4=mpi-hybrid (default all)\n"
          "  --ranks R --ppn P  job shape (default 6 PEs, 3 per node)\n"
          "  --rounds N         traffic rounds per PE (default 4)\n"
+         "  --schedule-seed S  event tie-break seed (0 = insertion order)\n"
+         "  --schedule-jitter J  bounded per-event latency jitter, sim ns\n"
+         "  --schedule-seeds K run each case under K tie-break seeds "
+         "(schedule exploration; minimizes the first failure)\n"
          "  --inject-dup-bug   enable the deliberate protocol bug\n"
+         "  --inject-schedule-bug  enable the seeded ordering bug\n"
          "  --verbose          print every case\n"
          "  --json FILE        write per-case results as JSON\n";
 }
@@ -124,8 +133,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--rounds") {
       options.rounds = static_cast<std::uint32_t>(std::strtoul(next(),
                                                                nullptr, 10));
+    } else if (arg == "--schedule-seed") {
+      options.schedule_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--schedule-jitter") {
+      options.schedule_jitter = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--schedule-seeds") {
+      options.schedule_seeds =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--inject-dup-bug") {
       options.inject_dup_bug = true;
+    } else if (arg == "--inject-schedule-bug") {
+      options.inject_schedule_bug = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--json") {
@@ -149,8 +167,10 @@ int main(int argc, char** argv) {
               << FaultPlan::kRecipeCount - 1 << ")\n";
     return 2;
   }
-  if (options.mode && (*options.mode < 0 || *options.mode > 3)) {
-    std::cerr << "check_sweep: --mode must be 0, 1, 2 or 3\n";
+  if (options.mode &&
+      (*options.mode < 0 || *options.mode >= odcm::check::kTortureModeCount)) {
+    std::cerr << "check_sweep: --mode must be in 0.."
+              << odcm::check::kTortureModeCount - 1 << "\n";
     return 2;
   }
 
@@ -163,21 +183,25 @@ int main(int argc, char** argv) {
     c.ranks = options.ranks;
     c.ppn = options.ppn;
     c.rounds = options.rounds;
+    c.schedule_seed = options.schedule_seed;
+    c.schedule_jitter = options.schedule_jitter;
     c.inject_duplicate_suppression_bug = options.inject_dup_bug;
+    c.inject_schedule_race_bug = options.inject_schedule_bug;
     return c;
   };
 
   const TortureMode all_modes[] = {TortureMode::kOnDemand,
                                    TortureMode::kStatic,
                                    TortureMode::kEvictionCapped,
-                                   TortureMode::kShm};
+                                   TortureMode::kShm,
+                                   TortureMode::kMpiHybrid};
   std::uint64_t failures = 0;
   std::uint64_t cases = 0;
   odcm::telemetry::JsonValue results = odcm::telemetry::JsonValue::array();
   odcm::telemetry::JsonValue* json_results =
       options.json_path.empty() ? nullptr : &results;
 
-  if (options.seed) {
+  if (options.seed && options.schedule_seeds == 0) {
     // Replay mode: one seed, selected (or all) recipes and modes.
     for (TortureMode mode : all_modes) {
       if (options.mode && static_cast<int>(mode) != *options.mode) continue;
@@ -187,6 +211,61 @@ int main(int argc, char** argv) {
         run_one(make_case(*options.seed, recipe, mode), options, failures,
                 json_results);
         ++cases;
+      }
+    }
+  } else if (options.schedule_seeds > 0) {
+    // Schedule exploration: every (mode, recipe, fault seed) base case is
+    // re-run under K tie-break seeds; the first failing schedule is
+    // minimized and its replay command printed. With --seed, explore just
+    // that fault seed instead of the 1000.. sweep range.
+    const std::uint64_t base_seeds = options.seed ? 1 : options.seeds;
+    for (TortureMode mode : all_modes) {
+      if (options.mode && static_cast<int>(mode) != *options.mode) continue;
+      for (std::uint32_t recipe = 0; recipe < FaultPlan::kRecipeCount;
+           ++recipe) {
+        if (options.recipe && recipe != *options.recipe) continue;
+        for (std::uint64_t i = 0; i < base_seeds; ++i) {
+          TortureCase base =
+              make_case(options.seed ? *options.seed : 1000 + i, recipe, mode);
+          odcm::check::ScheduleExploration exploration =
+              odcm::check::explore_schedules(base, options.schedule_seeds, 1,
+                                             options.schedule_jitter);
+          cases += exploration.schedules_run;
+          if (!exploration.ok) {
+            ++failures;
+            std::cout << "FAIL " << to_string(mode) << " recipe="
+                      << FaultPlan::recipe_name(recipe) << " seed="
+                      << base.seed << " schedule-seed="
+                      << exploration.failing.schedule_seed << "\n  "
+                      << exploration.failure.failure << "\n  replay: "
+                      << exploration.replay << "\n";
+          } else if (options.verbose) {
+            std::cout << "ok   " << to_string(mode) << " recipe="
+                      << FaultPlan::recipe_name(recipe) << " seed="
+                      << base.seed << " schedules="
+                      << exploration.schedules_run << "\n";
+          }
+          if (json_results != nullptr) {
+            odcm::telemetry::JsonValue row =
+                odcm::telemetry::JsonValue::object();
+            row.set("mode", std::string(to_string(mode)));
+            row.set("recipe", static_cast<std::int64_t>(recipe));
+            row.set("recipe_name",
+                    std::string(FaultPlan::recipe_name(recipe)));
+            row.set("seed", static_cast<std::int64_t>(base.seed));
+            row.set("ok", exploration.ok);
+            row.set("schedules_run",
+                    static_cast<std::int64_t>(exploration.schedules_run));
+            if (!exploration.ok) {
+              row.set("schedule_seed",
+                      static_cast<std::int64_t>(
+                          exploration.failing.schedule_seed));
+              row.set("failure", exploration.failure.failure);
+              row.set("replay", exploration.replay);
+            }
+            json_results->push(std::move(row));
+          }
+        }
       }
     }
   } else {

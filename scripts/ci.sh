@@ -31,9 +31,23 @@ ctest --test-dir "${prefix}" --output-on-failure -L torture
 "${prefix}/bench/check_sweep" --seeds 50 \
   --json "${prefix}/bench-artifacts/CHECK_sweep.json"
 
+echo "==> schedule exploration (label: schedule)"
+# Seeded tie-break permutation of same-timestamp events: every recipe x
+# mode base case re-run under perturbed schedules, plus a bounded-jitter
+# pass. On failure the JSON artifact carries the failing schedule seed and
+# the one-line minimized replay command next to the MICRO/BENCH artifacts.
+ctest --test-dir "${prefix}" --output-on-failure -L schedule
+"${prefix}/bench/check_sweep" --seeds 5 --schedule-seeds 8 \
+  --json "${prefix}/bench-artifacts/CHECK_schedule_sweep.json"
+"${prefix}/bench/check_sweep" --seeds 3 --schedule-seeds 4 \
+  --schedule-jitter 300 \
+  --json "${prefix}/bench-artifacts/CHECK_schedule_jitter_sweep.json"
+
 echo "==> archiving bench artifacts"
 # Includes BENCH_*.json (schema-checked, deterministic), CHECK_sweep.json,
-# and the MICRO_*.json hot-path microbench output from the perf-smoke label.
+# the CHECK_schedule_*.json exploration tallies (failing schedule seeds and
+# replay commands live there), and the MICRO_*.json hot-path microbench
+# output from the perf-smoke label.
 tar -czf "${prefix}/bench-artifacts.tar.gz" -C "${prefix}" bench-artifacts
 ls -l "${prefix}/bench-artifacts.tar.gz"
 
@@ -54,6 +68,12 @@ ASAN_OPTIONS=detect_leaks=0 \
 # rkey-fault/invalidation drain are the newest pointer-heavy paths.
 ASAN_OPTIONS=detect_leaks=0 \
   ctest --test-dir "${prefix}-asan" --output-on-failure -L registration
+# Schedule-perturbed suites under ASan: permuted wakeup orders reshuffle
+# coroutine frame lifetimes, which is exactly where use-after-free hides.
+ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir "${prefix}-asan" --output-on-failure -L schedule
 ASAN_OPTIONS=detect_leaks=0 "${prefix}-asan/bench/check_sweep" --seeds 10
+ASAN_OPTIONS=detect_leaks=0 "${prefix}-asan/bench/check_sweep" --seeds 2 \
+  --schedule-seeds 4
 
 echo "==> ci.sh: all green"

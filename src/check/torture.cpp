@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fabric/address_space.hpp"
+#include "mpi/mpi.hpp"
 #include "sim/engine.hpp"
 
 namespace odcm::check {
@@ -16,6 +17,7 @@ const char* to_string(TortureMode mode) noexcept {
     case TortureMode::kStatic: return "static";
     case TortureMode::kEvictionCapped: return "eviction-capped";
     case TortureMode::kShm: return "intranode-shm";
+    case TortureMode::kMpiHybrid: return "mpi-hybrid";
   }
   return "?";
 }
@@ -25,8 +27,17 @@ std::string replay_command(const TortureCase& c) {
   out << "check_sweep --seed " << c.seed << " --recipe " << c.recipe
       << " --mode " << static_cast<int>(c.mode) << " --ranks " << c.ranks
       << " --ppn " << c.ppn << " --rounds " << c.rounds;
+  if (c.schedule_seed != 0) {
+    out << " --schedule-seed " << c.schedule_seed;
+  }
+  if (c.schedule_jitter != 0) {
+    out << " --schedule-jitter " << c.schedule_jitter;
+  }
   if (c.inject_duplicate_suppression_bug) {
     out << " --inject-dup-bug";
+  }
+  if (c.inject_schedule_race_bug) {
+    out << " --inject-schedule-bug";
   }
   return out.str();
 }
@@ -52,10 +63,25 @@ core::JobConfig make_config(const TortureCase& c) {
       config.conduit = core::proposed_design();
       config.conduit.intranode_transport = core::IntranodeTransport::kShm;
       break;
+    case TortureMode::kMpiHybrid:
+      config.conduit = core::proposed_design();
+      config.conduit.max_active_connections = 3;
+      break;
   }
   config.conduit.test_skip_duplicate_suppression =
       c.inject_duplicate_suppression_bug;
+  config.conduit.test_skip_established_recheck = c.inject_schedule_race_bug;
   return config;
+}
+
+sim::SchedulePolicy schedule_policy_for(const TortureCase& c) {
+  sim::SchedulePolicy policy;
+  if (c.schedule_seed != 0) {
+    policy.tie_break = sim::SchedulePolicy::TieBreak::kSeededShuffle;
+    policy.seed = c.schedule_seed;
+  }
+  policy.jitter_max = c.schedule_jitter;
+  return policy;
 }
 
 std::vector<std::byte> encode_rank(fabric::RankId rank) {
@@ -70,8 +96,10 @@ std::vector<std::byte> encode_rank(fabric::RankId rank) {
 TortureResult run_case(const TortureCase& c) {
   TortureResult result;
   const bool on_demand = c.mode != TortureMode::kStatic;
+  const bool hybrid = c.mode == TortureMode::kMpiHybrid;
 
   sim::Engine engine;
+  engine.set_schedule_policy(schedule_policy_for(c));
   core::JobConfig config = make_config(c);
   core::ConduitJob job(engine, config);
 
@@ -99,10 +127,14 @@ TortureResult run_case(const TortureCase& c) {
   std::vector<std::uint64_t> am_sent(c.ranks, 0);
   std::vector<std::uint64_t> am_received(c.ranks, 0);
   std::vector<std::uint64_t> adds_sent(c.ranks, 0);
+  std::vector<std::unique_ptr<mpi::MpiComm>> comms(hybrid ? c.ranks : 0);
   std::string body_failure;
 
   job.spawn_all([&](core::Conduit& conduit) -> sim::Task<> {
     fabric::RankId self = conduit.rank();
+    if (hybrid) {
+      comms[self] = std::make_unique<mpi::MpiComm>(conduit);
+    }
     conduit.register_handler(
         20, [&am_received, self](fabric::RankId,
                                  std::vector<std::byte>) -> sim::Task<> {
@@ -157,8 +189,56 @@ TortureResult run_case(const TortureCase& c) {
                          std::to_string(dst);
         }
       }
+      if (hybrid) {
+        // Ring of tagged two-sided exchanges layered over the same conduit:
+        // every PE posts two back-to-back isends with the SAME (dst, tag) to
+        // its right neighbor and two irecvs from its left, then checks the
+        // payloads arrive in posting order (MPI's non-overtaking rule). The
+        // per-round tag also churns the matchbox table, which the audit
+        // below requires to drain back to zero.
+        mpi::MpiComm& comm = *comms[self];
+        const auto right = static_cast<fabric::RankId>((self + 1) % c.ranks);
+        const auto left =
+            static_cast<fabric::RankId>((self + c.ranks - 1) % c.ranks);
+        auto encode = [](std::uint64_t v) {
+          std::vector<std::byte> out(8);
+          std::memcpy(out.data(), &v, 8);
+          return out;
+        };
+        const std::uint64_t base =
+            (static_cast<std::uint64_t>(self) << 32) | (round * 2ULL);
+        mpi::MpiComm::Request r0 = comm.irecv(left, round);
+        mpi::MpiComm::Request r1 = comm.irecv(left, round);
+        mpi::MpiComm::Request s0 = comm.isend(right, round, encode(base));
+        mpi::MpiComm::Request s1 =
+            comm.isend(right, round, encode(base + 1));
+        std::vector<std::byte> m0 = co_await comm.wait(r0);
+        std::vector<std::byte> m1 = co_await comm.wait(r1);
+        std::vector<mpi::MpiComm::Request> sends;
+        sends.push_back(s0);
+        sends.push_back(s1);
+        co_await comm.waitall(std::move(sends));
+        const std::uint64_t want =
+            (static_cast<std::uint64_t>(left) << 32) | (round * 2ULL);
+        std::uint64_t v0 = ~0ULL, v1 = ~0ULL;
+        if (m0.size() == 8) std::memcpy(&v0, m0.data(), 8);
+        if (m1.size() == 8) std::memcpy(&v1, m1.data(), 8);
+        if ((v0 != want || v1 != want + 1) && body_failure.empty()) {
+          body_failure =
+              "MPI FIFO violation at rank " + std::to_string(self) +
+              " round " + std::to_string(round) + ": expected " +
+              std::to_string(want) + "," + std::to_string(want + 1) +
+              ", got " + std::to_string(v0) + "," + std::to_string(v1);
+        }
+      }
     }
     co_await conduit.barrier_global();
+    if (hybrid && comms[self]->matchbox_count() != 0 &&
+        body_failure.empty()) {
+      body_failure = "matchboxes leaked at rank " + std::to_string(self) +
+                     ": " + std::to_string(comms[self]->matchbox_count()) +
+                     " live after quiesce";
+    }
   });
 
   try {
@@ -201,6 +281,8 @@ TortureResult run_case(const TortureCase& c) {
     result.shm_ops = static_cast<std::uint64_t>(
         totals.counter("rma_put_shm") + totals.counter("rma_get_shm") +
         totals.counter("rma_atomic_shm") + totals.counter("am_sent_shm"));
+    result.mpi_msgs =
+        static_cast<std::uint64_t>(totals.counter("mpi_send"));
   }
   result.ud_datagrams = job.fabric().ud_datagrams_sent();
   result.fault_decisions = plan.decisions();
@@ -209,6 +291,51 @@ TortureResult run_case(const TortureCase& c) {
                       result.plan;
   }
   return result;
+}
+
+ScheduleExploration explore_schedules(TortureCase base,
+                                      std::uint32_t schedule_seeds,
+                                      std::uint64_t schedule_seed_base,
+                                      sim::Time jitter) {
+  ScheduleExploration out;
+  out.minimized = base;
+  for (std::uint32_t i = 0; i < schedule_seeds; ++i) {
+    TortureCase trial = base;
+    trial.schedule_seed = schedule_seed_base + i;
+    trial.schedule_jitter = jitter;
+    ++out.schedules_run;
+    if (run_case(trial).ok) continue;
+
+    out.ok = false;
+    out.failing = trial;
+    // Greedy first-failure minimization: each step re-runs under the SAME
+    // schedule seed (the simulation is deterministic, so "still fails" is
+    // a yes/no question, not a probability) and keeps the shrink only if
+    // the failure survives.
+    TortureCase minimized = trial;
+    auto still_fails = [](const TortureCase& t) { return !run_case(t).ok; };
+    if (minimized.recipe != 0) {
+      TortureCase t = minimized;
+      t.recipe = 0;  // weaken the fault plan to the clean recipe
+      if (still_fails(t)) minimized = t;
+    }
+    if (minimized.schedule_jitter != 0) {
+      TortureCase t = minimized;
+      t.schedule_jitter = 0;
+      if (still_fails(t)) minimized = t;
+    }
+    while (minimized.rounds > 1) {
+      TortureCase t = minimized;
+      t.rounds /= 2;
+      if (!still_fails(t)) break;
+      minimized = t;
+    }
+    out.minimized = minimized;
+    out.failure = run_case(minimized);
+    out.replay = replay_command(minimized);
+    return out;
+  }
+  return out;
 }
 
 }  // namespace odcm::check

@@ -14,6 +14,7 @@
 
 #include "check/fault_plan.hpp"
 #include "check/invariants.hpp"
+#include "sim/time.hpp"
 
 namespace odcm::check {
 
@@ -26,7 +27,15 @@ enum class TortureMode : std::uint8_t {
   /// RC-over-on-demand. The data-integrity audit then proves shm and RC
   /// atomics targeting the same address sum exactly (mixed coherence).
   kShm = 3,
+  /// Proposed design (max_active_connections = 3) with an `mpi::MpiComm`
+  /// layered over the same conduit: every round adds a ring of two-sided
+  /// tagged exchanges — two back-to-back sends per (src, tag), so FIFO
+  /// matching and matchbox reclamation are audited — on top of the usual
+  /// AM/atomic traffic.
+  kMpiHybrid = 4,
 };
+
+inline constexpr int kTortureModeCount = 5;
 
 [[nodiscard]] const char* to_string(TortureMode mode) noexcept;
 
@@ -37,9 +46,17 @@ struct TortureCase {
   std::uint32_t ranks = 6;
   std::uint32_t ppn = 3;
   std::uint32_t rounds = 4;  ///< traffic rounds per PE
+  /// Event tie-break seed for `sim::SchedulePolicy::kSeededShuffle`;
+  /// 0 = historical insertion order (no perturbation).
+  std::uint64_t schedule_seed = 0;
+  /// Bounded per-event latency jitter (`SchedulePolicy::jitter_max`).
+  sim::Time schedule_jitter = 0;
   /// TEST ONLY: enable ConduitConfig::test_skip_duplicate_suppression to
   /// prove the checker catches a real protocol bug.
   bool inject_duplicate_suppression_bug = false;
+  /// TEST ONLY: enable ConduitConfig::test_skip_established_recheck to
+  /// prove the schedule explorer finds ordering-sensitive bugs.
+  bool inject_schedule_race_bug = false;
 };
 
 struct TortureResult {
@@ -50,6 +67,8 @@ struct TortureResult {
   std::uint64_t fault_decisions = 0;
   /// Ops routed over the shm transport (kShm mode; 0 otherwise).
   std::uint64_t shm_ops = 0;
+  /// Two-sided MPI messages exchanged (kMpiHybrid mode; 0 otherwise).
+  std::uint64_t mpi_msgs = 0;
   std::string plan{};  ///< FaultPlan::describe() of the plan that ran
 };
 
@@ -60,5 +79,25 @@ struct TortureResult {
 /// violations, data-integrity mismatches, deadlocks) come back in
 /// `TortureResult::failure`.
 [[nodiscard]] TortureResult run_case(const TortureCase& c);
+
+/// Outcome of a schedule-exploration sweep over one base case.
+struct ScheduleExploration {
+  bool ok = true;
+  std::uint32_t schedules_run = 0;
+  TortureCase failing{};    ///< first failing schedule (valid when !ok)
+  TortureResult failure{};  ///< result of the *minimized* failing case
+  /// Greedy shrink of `failing` under the same schedule seed: the fault
+  /// plan is weakened toward the clean recipe, jitter is removed, and the
+  /// round count halved, keeping each step only if the failure survives.
+  TortureCase minimized{};
+  std::string replay{};  ///< one-line replay command for `minimized`
+};
+
+/// Run `base` under `schedule_seeds` consecutive tie-break seeds (starting
+/// at `schedule_seed_base`; the base case's own schedule_seed/jitter are
+/// overridden per run). Stops at the first failure and minimizes it.
+[[nodiscard]] ScheduleExploration explore_schedules(
+    TortureCase base, std::uint32_t schedule_seeds,
+    std::uint64_t schedule_seed_base = 1, sim::Time jitter = 0);
 
 }  // namespace odcm::check

@@ -98,6 +98,18 @@ struct ConduitConfig {
   /// the invariant checker catches real protocol bugs; never enable
   /// outside the torture suite.
   bool test_skip_duplicate_suppression = false;
+
+  /// TEST ONLY — seeded ordering-sensitive bug for the schedule explorer
+  /// (tests/check): when true, a waiter woken by the established gate in
+  /// `ensure_connected` trusts the wakeup blindly instead of re-checking the
+  /// peer phase. The re-check is what makes the wakeup safe against a
+  /// same-timestamp eviction or passive drain sneaking in between the gate
+  /// opening and the waiter running; with it skipped, exactly that
+  /// interleaving — reachable only under some event tie-break orders —
+  /// fails loudly. Exists solely to prove the schedule-perturbation sweep
+  /// finds real ordering bugs within a bounded seed budget; never enable
+  /// outside the torture suite.
+  bool test_skip_established_recheck = false;
 };
 
 /// Everything needed to stand up a simulated job.

@@ -106,6 +106,19 @@ sim::Task<> Conduit::ensure_connected(RankId dst) {
     if (p.fail_epoch != epoch) {
       throw std::runtime_error(p.fail_reason);
     }
+    if (config().test_skip_established_recheck) {
+      // TEST ONLY (see ConduitConfig): return without looping back to the
+      // phase re-check. Safe only if nothing squeezed between the gate
+      // opening and this waiter running — an assumption some tie-break
+      // orders violate (eviction or passive drain at the same timestamp).
+      if (p.phase != Peer::Phase::kConnected || p.qp == nullptr) {
+        throw std::runtime_error(
+            "seeded ordering bug: established-gate wakeup for rank " +
+            std::to_string(dst) + " raced a teardown (phase " +
+            std::to_string(static_cast<int>(p.phase)) + ")");
+      }
+      co_return;
+    }
   }
 }
 

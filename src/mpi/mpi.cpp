@@ -31,21 +31,27 @@ sim::Task<> MpiComm::handle_message(RankId src,
                                     std::vector<std::byte> payload) {
   core::wire::Reader reader(payload);
   auto tag = reader.read_int<std::uint64_t>();
-  matchbox(src, tag).push(reader.read_rest());
+  matchbox(src, tag).box.push(reader.read_rest());
   co_return;
 }
 
-sim::Mailbox<std::vector<std::byte>>& MpiComm::matchbox(RankId src,
-                                                        std::uint64_t tag) {
+MpiComm::Match& MpiComm::matchbox(RankId src, std::uint64_t tag) {
   auto key = std::make_pair(src, tag);
   auto it = matches_.find(key);
   if (it == matches_.end()) {
-    it = matches_
-             .emplace(key, std::make_unique<sim::Mailbox<std::vector<std::byte>>>(
-                               conduit_.engine()))
+    it = matches_.emplace(key, std::make_unique<Match>(conduit_.engine()))
              .first;
+    conduit_.stats().add("mpi_matchbox_created");
   }
   return *it->second;
+}
+
+void MpiComm::reclaim_matchbox(const MatchKey& key) {
+  auto it = matches_.find(key);
+  if (it == matches_.end()) return;
+  if (it->second->active_poppers != 0 || !it->second->box.empty()) return;
+  matches_.erase(it);
+  conduit_.stats().add("mpi_matchbox_reclaimed");
 }
 
 sim::Task<> MpiComm::send_tagged(RankId dst, std::uint64_t tag,
@@ -59,45 +65,83 @@ sim::Task<> MpiComm::send_tagged(RankId dst, std::uint64_t tag,
 
 sim::Task<std::vector<std::byte>> MpiComm::recv_tagged(RankId src,
                                                        std::uint64_t tag) {
-  co_return co_await matchbox(src, tag).pop();
+  const auto key = std::make_pair(src, tag);
+  Match& match = matchbox(src, tag);
+  ++match.active_poppers;
+  std::vector<std::byte> data = co_await match.box.pop();
+  --match.active_poppers;
+  reclaim_matchbox(key);
+  co_return data;
 }
 
 sim::Task<> MpiComm::send(RankId dst, std::uint32_t tag,
                           std::span<const std::byte> data) {
-  conduit_.stats().add("mpi_send");
-  co_await send_tagged(dst, tag, data);
+  // Routed through the isend chain so a blocking send posted after a
+  // pending isend to the same destination cannot overtake it.
+  (void)co_await wait(isend(dst, tag, data));
 }
 
 sim::Task<std::vector<std::byte>> MpiComm::recv(RankId src,
                                                 std::uint32_t tag) {
-  conduit_.stats().add("mpi_recv");
-  co_return co_await recv_tagged(src, tag);
+  // Routed through the irecv chain so a blocking recv posted after a
+  // pending irecv with the same (src, tag) matches strictly after it.
+  co_return co_await wait(irecv(src, tag));
 }
 
 MpiComm::Request MpiComm::isend(RankId dst, std::uint32_t tag,
                                 std::span<const std::byte> data) {
   Request request;
   request.state_ = std::make_shared<Request::State>(conduit_.engine());
+  // Chain behind the previous send to the same destination: the sender task
+  // below only hits the wire after its predecessor completed, so two
+  // back-to-back isends with the same (dst, tag) stay in posting order no
+  // matter how the scheduler interleaves their detached tasks.
+  std::shared_ptr<Request::State> prev =
+      std::exchange(send_tail_[dst], request.state_);
   conduit_.engine().spawn(
       [](MpiComm& comm, RankId d, std::uint32_t t,
          std::vector<std::byte> payload,
+         std::shared_ptr<Request::State> predecessor,
          std::shared_ptr<Request::State> state) -> sim::Task<> {
-        co_await comm.send(d, t, payload);
+        if (predecessor) co_await predecessor->done.wait();
+        comm.conduit_.stats().add("mpi_send");
+        co_await comm.send_tagged(d, t, payload);
         state->done.open();
+        auto it = comm.send_tail_.find(d);
+        if (it != comm.send_tail_.end() && it->second == state) {
+          comm.send_tail_.erase(it);
+        }
       }(*this, dst, tag, std::vector<std::byte>(data.begin(), data.end()),
-        request.state_));
+        std::move(prev), request.state_));
   return request;
 }
 
 MpiComm::Request MpiComm::irecv(RankId src, std::uint32_t tag) {
   Request request;
   request.state_ = std::make_shared<Request::State>(conduit_.engine());
+  // Chain behind the previous receive for the same (src, tag): without
+  // this, two posted irecvs race their detached receiver tasks for the
+  // mailbox and a perturbed event schedule can match them out of posting
+  // order (see recv_tail_ in the header).
+  const MatchKey key{src, tag};
+  std::shared_ptr<Request::State> prev =
+      std::exchange(recv_tail_[key], request.state_);
   conduit_.engine().spawn(
-      [](MpiComm& comm, RankId s, std::uint32_t t,
+      [](MpiComm& comm, MatchKey k,
+         std::shared_ptr<Request::State> predecessor,
          std::shared_ptr<Request::State> state) -> sim::Task<> {
-        state->data = co_await comm.recv(s, t);
+        if (predecessor) co_await predecessor->done.wait();
+        comm.conduit_.stats().add("mpi_recv");
+        state->data = co_await comm.recv_tagged(k.first, k.second);
         state->done.open();
-      }(*this, src, tag, request.state_));
+        // Reclaim the chain tail once it drains, mirroring matchbox
+        // reclamation: a communicator cycling through tags must not
+        // accumulate one tail entry per (src, tag) ever used.
+        auto it = comm.recv_tail_.find(k);
+        if (it != comm.recv_tail_.end() && it->second == state) {
+          comm.recv_tail_.erase(it);
+        }
+      }(*this, key, std::move(prev), request.state_));
   return request;
 }
 

@@ -138,23 +138,53 @@ class MpiComm {
   [[nodiscard]] sim::Task<std::vector<std::byte>> sendrecv(
       RankId peer, std::uint32_t tag, std::span<const std::byte> data);
 
+  /// Live (src, tag) mailboxes. Matchboxes are created on first use and
+  /// reclaimed once drained, so a long-running job that cycles through tags
+  /// (per-iteration tags, collective sequence tags) holds O(in-flight)
+  /// mailboxes, not O(tags ever used). A quiesced communicator reports 0.
+  [[nodiscard]] std::size_t matchbox_count() const noexcept {
+    return matches_.size();
+  }
+
  private:
   /// Wire tags: user tags are offset so collective traffic cannot collide.
   static constexpr std::uint64_t kUserTagSpace = 1ULL << 32;
 
+  /// One (src, tag) match queue. `active_poppers` counts receivers inside
+  /// `pop()` — suspended or woken-but-not-yet-run — so reclaim never frees
+  /// a mailbox a resuming coroutine still references.
+  struct Match {
+    explicit Match(sim::Engine& engine) : box(engine) {}
+    sim::Mailbox<std::vector<std::byte>> box;
+    std::uint32_t active_poppers = 0;
+  };
+  using MatchKey = std::pair<RankId, std::uint64_t>;
+
   sim::Task<std::vector<std::byte>> wait_impl(Request request);
   sim::Task<> handle_message(RankId src, std::vector<std::byte> payload);
-  sim::Mailbox<std::vector<std::byte>>& matchbox(RankId src,
-                                                 std::uint64_t tag);
+  Match& matchbox(RankId src, std::uint64_t tag);
+  void reclaim_matchbox(const MatchKey& key);
   sim::Task<> send_tagged(RankId dst, std::uint64_t tag,
                           std::span<const std::byte> data);
   sim::Task<std::vector<std::byte>> recv_tagged(RankId src,
                                                 std::uint64_t tag);
 
   core::Conduit& conduit_;
-  std::map<std::pair<RankId, std::uint64_t>,
-           std::unique_ptr<sim::Mailbox<std::vector<std::byte>>>>
-      matches_{};
+  std::map<MatchKey, std::unique_ptr<Match>> matches_{};
+  /// Tail of the per-destination send chain: each isend awaits the previous
+  /// request to the same destination before hitting the wire, so posting
+  /// order equals wire order (MPI's non-overtaking rule) under every event
+  /// tie-break policy — without it, two back-to-back isends race their
+  /// detached sender tasks and a perturbed schedule can swap them.
+  std::map<RankId, std::shared_ptr<Request::State>> send_tail_{};
+  /// Tail of the per-(src, tag) receive chain — the matching-side half of
+  /// the same rule: two irecvs posted for one (src, tag) must match
+  /// messages in posting order. Found by the schedule-exploration sweep
+  /// (replay: check_sweep --seed 1000 --recipe 0 --mode 4 --rounds 1
+  /// --schedule-seed 1): the two detached receiver tasks race to pop the
+  /// mailbox, and a perturbed tie-break order hands the first message to
+  /// the second irecv. Entries are reclaimed when their chain drains.
+  std::map<MatchKey, std::shared_ptr<Request::State>> recv_tail_{};
   std::uint64_t coll_seq_ = 0;
 };
 

@@ -474,6 +474,11 @@ sim::Task<> ShmemPe::iget(RankId dst, std::span<std::byte> dest, SymAddr src,
   if (dst_stride == 0 || src_stride == 0 || elem == 0) {
     throw std::invalid_argument("ShmemPe::iget: zero stride or element");
   }
+  if (static_cast<std::uint64_t>(nelems - 1) * dst_stride * elem + elem >
+          dest.size() &&
+      nelems > 0) {
+    throw std::out_of_range("ShmemPe::iget: destination too small");
+  }
   for (std::uint32_t k = 0; k < nelems; ++k) {
     co_await get(dst,
                  src + static_cast<std::uint64_t>(k) * src_stride * elem,

@@ -4,11 +4,43 @@
 
 namespace odcm::sim {
 
+namespace {
+
+// Stateless SplitMix64-style finalizer over (seed, seq): the permutation and
+// jitter of every event are pure functions of the policy and the event's
+// sequence number, so a perturbed schedule replays bit-identically and is
+// independent of queue contents at scheduling time.
+std::uint64_t mix_seeded(std::uint64_t seed, std::uint64_t seq) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (seq + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Distinct stream for the latency jitter so tie order and jitter are
+// independent draws.
+constexpr std::uint64_t kJitterSalt = 0x6a09e667f3bcc909ULL;
+
+}  // namespace
+
 void Engine::schedule_at(Time t, std::function<void()> fn) {
   if (t < now_) {
     throw std::logic_error("Engine::schedule_at: time is in the past");
   }
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  const std::uint64_t seq = next_seq_++;
+  std::uint64_t tie = seq;
+  if (policy_.tie_break == SchedulePolicy::TieBreak::kSeededShuffle) {
+    tie = mix_seeded(policy_.seed, seq);
+  }
+  if (policy_.jitter_max > 0 && t > now_) {
+    // Bounded extra latency on future events only: same-time wakeups (gate
+    // opens, task spawns) keep their timestamp so zero-latency semantics
+    // survive; they are still permuted by the tie-break.
+    t += static_cast<Time>(
+        mix_seeded(policy_.seed ^ kJitterSalt, seq) %
+        (static_cast<std::uint64_t>(policy_.jitter_max) + 1));
+  }
+  queue_.push(Event{t, tie, seq, std::move(fn)});
 }
 
 void Engine::spawn(Task<> task) {

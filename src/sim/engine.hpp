@@ -1,10 +1,19 @@
 // Deterministic discrete-event engine.
 //
 // The engine owns a priority queue of (time, sequence, callback) events and a
-// virtual clock. Events scheduled for the same time fire in insertion order,
-// which makes every simulation run bit-for-bit reproducible. Coroutine tasks
-// suspend by scheduling their own resumption as events (see `delay`,
-// `sync.hpp`).
+// virtual clock. By default events scheduled for the same time fire in
+// insertion order, which makes every simulation run bit-for-bit reproducible.
+// Coroutine tasks suspend by scheduling their own resumption as events (see
+// `delay`, `sync.hpp`).
+//
+// Schedule perturbation: a `SchedulePolicy` with the seeded-shuffle tie-break
+// dispatches same-time events in a deterministically permuted order instead,
+// and can add bounded deterministic latency jitter to future events. One
+// insertion-order run explores exactly one interleaving of the simulated
+// protocols; sweeping tie-break seeds turns the same workload into a
+// concurrency explorer (see `check::torture`). Every permutation is a pure
+// function of `(policy.seed, event sequence number)`, so a failing schedule
+// replays bit-identically from the same policy.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,31 @@
 
 namespace odcm::sim {
 
+/// How the engine orders events that share a virtual timestamp, and whether
+/// it perturbs event latency. The default reproduces the historical
+/// insertion-order dispatch bit-for-bit.
+struct SchedulePolicy {
+  enum class TieBreak : std::uint8_t {
+    /// Same-time events fire in insertion order (the historical behavior).
+    kInsertion = 0,
+    /// Same-time events fire in an order permuted by a stateless hash of
+    /// `(seed, sequence number)` — deterministic and fully replayable, but a
+    /// different interleaving per seed.
+    kSeededShuffle = 1,
+  };
+  TieBreak tie_break = TieBreak::kInsertion;
+  std::uint64_t seed = 1;
+  /// Upper bound (inclusive) on deterministic extra latency added to events
+  /// scheduled strictly in the future (t > now); events at the current time
+  /// — task spawns, gate wakeups — are never delayed, only permuted. 0
+  /// disables jitter. Applies in either tie-break mode.
+  Time jitter_max = 0;
+
+  [[nodiscard]] bool perturbs() const noexcept {
+    return tie_break != TieBreak::kInsertion || jitter_max != 0;
+  }
+};
+
 /// Single-threaded discrete-event scheduler with a virtual clock.
 class Engine {
  public:
@@ -28,6 +62,16 @@ class Engine {
 
   /// Current virtual time.
   [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Install the tie-break/jitter policy. Applies to events scheduled from
+  /// now on (already-queued events keep their keys); install before running
+  /// for a coherent, replayable schedule.
+  void set_schedule_policy(const SchedulePolicy& policy) noexcept {
+    policy_ = policy;
+  }
+  [[nodiscard]] const SchedulePolicy& schedule_policy() const noexcept {
+    return policy_;
+  }
 
   /// Schedule `fn` to run at absolute virtual time `t` (>= now()).
   void schedule_at(Time t, std::function<void()> fn);
@@ -82,19 +126,22 @@ class Engine {
 
   struct Event {
     Time time;
+    std::uint64_t tie;  ///< seq (insertion) or hash(seed, seq) (shuffle)
     std::uint64_t seq;
     std::function<void()> fn;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      if (a.tie != b.tie) return a.tie > b.tie;
+      return a.seq > b.seq;  // hash-collision backstop: stay deterministic
     }
   };
 
   void run_loop();
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_{};
+  SchedulePolicy policy_{};
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;

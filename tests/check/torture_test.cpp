@@ -80,15 +80,44 @@ TEST(Torture, IntranodeShmCarriesTrafficUnderUdLoss) {
   EXPECT_GT(result.ud_datagrams, 0u);  // cross-node handshakes still happen
 }
 
+TEST(Torture, MpiHybridSweep) {
+  // MPI two-sided traffic (ring isend/irecv with per-round tags) layered
+  // over the same on-demand conduit, under every fault recipe. Each case
+  // also audits FIFO matching for back-to-back same-(src, tag) sends and
+  // that every matchbox is reclaimed once drained.
+  EXPECT_EQ(sweep(TortureMode::kMpiHybrid, FaultPlan::kRecipeCount,
+                  /*seeds_per_recipe=*/30, /*seed_base=*/5000),
+            8u * 30u);
+}
+
+TEST(Torture, MpiHybridCarriesTwoSidedTraffic) {
+  TortureCase c;
+  c.seed = 4711;
+  c.recipe = 4;  // chaos_mix
+  c.mode = TortureMode::kMpiHybrid;
+  TortureResult result = run_case(c);
+  EXPECT_TRUE(result.ok) << result.failure;
+  // 2 isends per PE per round, plus whatever the collectives add.
+  EXPECT_GE(result.mpi_msgs, 2ull * 6 * 4);
+}
+
 TEST(Torture, ReplayCommandRoundTrips) {
   TortureCase c;
   c.seed = 424242;
   c.recipe = 6;
   c.mode = TortureMode::kEvictionCapped;
+  c.schedule_seed = 17;
+  c.schedule_jitter = 250;
+  c.inject_schedule_race_bug = true;
   std::string command = replay_command(c);
   EXPECT_NE(command.find("--seed 424242"), std::string::npos) << command;
   EXPECT_NE(command.find("--recipe 6"), std::string::npos) << command;
   EXPECT_NE(command.find("--mode 2"), std::string::npos) << command;
+  EXPECT_NE(command.find("--schedule-seed 17"), std::string::npos) << command;
+  EXPECT_NE(command.find("--schedule-jitter 250"), std::string::npos)
+      << command;
+  EXPECT_NE(command.find("--inject-schedule-bug"), std::string::npos)
+      << command;
 }
 
 TEST(Torture, CaseIsDeterministic) {
@@ -129,6 +158,105 @@ TEST(Torture, InjectedDuplicateSuppressionBugIsCaughtQuickly) {
   EXPECT_GT(caught_at, 0u)
       << "checker failed to catch the injected bug within 100 seeds";
   EXPECT_LE(caught_at, 100u);
+}
+
+TEST(Torture, ScheduleSweepAllModesClean) {
+  // The tentpole sweep: every connection mode crossed with every fault
+  // recipe, each base case re-run under perturbed tie-break seeds (plus a
+  // jitter pass). All current protocols must hold under every explored
+  // schedule; when one does not, the minimized replay line pinpoints it.
+  const TortureMode modes[] = {TortureMode::kOnDemand, TortureMode::kStatic,
+                               TortureMode::kEvictionCapped,
+                               TortureMode::kShm, TortureMode::kMpiHybrid};
+  for (TortureMode mode : modes) {
+    for (std::uint32_t recipe = 0; recipe < FaultPlan::kRecipeCount;
+         ++recipe) {
+      TortureCase base;
+      base.seed = 9000 + recipe;
+      base.recipe = recipe;
+      base.mode = mode;
+      ScheduleExploration plain = explore_schedules(base, /*schedule_seeds=*/4,
+                                                    /*schedule_seed_base=*/1);
+      EXPECT_TRUE(plain.ok) << "mode=" << to_string(mode)
+                            << " recipe=" << FaultPlan::recipe_name(recipe)
+                            << "\n" << plain.failure.failure
+                            << "\n  replay: " << plain.replay;
+      ScheduleExploration jittered = explore_schedules(
+          base, /*schedule_seeds=*/2, /*schedule_seed_base=*/101,
+          /*jitter=*/200);
+      EXPECT_TRUE(jittered.ok)
+          << "mode=" << to_string(mode)
+          << " recipe=" << FaultPlan::recipe_name(recipe) << " (jittered)\n"
+          << jittered.failure.failure << "\n  replay: " << jittered.replay;
+    }
+  }
+}
+
+TEST(Torture, SeededScheduleBugFoundWithinBudget) {
+  // Acceptance criterion for the explorer: a deliberately seeded
+  // ordering-sensitive bug (ensure_connected trusts the established-gate
+  // wakeup without re-checking the peer phase) is INVISIBLE under the
+  // historical insertion order for this case, and must be flushed out
+  // within a 64-schedule-seed budget.
+  TortureCase base;
+  base.seed = 1000;
+  base.recipe = 2;  // heavy_loss: retransmissions + eviction churn
+  base.mode = TortureMode::kEvictionCapped;
+  base.inject_schedule_race_bug = true;
+
+  TortureResult insertion = run_case(base);
+  ASSERT_TRUE(insertion.ok)
+      << "expected the seeded bug to hide under insertion order, got:\n"
+      << insertion.failure;
+
+  ScheduleExploration exploration =
+      explore_schedules(base, /*schedule_seeds=*/64, /*schedule_seed_base=*/1);
+  ASSERT_FALSE(exploration.ok)
+      << "explorer missed the seeded ordering bug within 64 schedule seeds";
+  EXPECT_LE(exploration.schedules_run, 64u);
+  EXPECT_NE(exploration.failure.failure.find("seeded ordering bug"),
+            std::string::npos)
+      << exploration.failure.failure;
+  EXPECT_NE(exploration.replay.find("--schedule-seed"), std::string::npos)
+      << exploration.replay;
+  EXPECT_NE(exploration.replay.find("--inject-schedule-bug"),
+            std::string::npos)
+      << exploration.replay;
+}
+
+TEST(Torture, PinnedIrecvMatchingOrderRegression) {
+  // Regression pin for the race the exploration sweep found in MpiComm:
+  // two irecvs posted for the same (src, tag) raced their detached
+  // receiver tasks for the mailbox, so a perturbed tie-break order matched
+  // them out of posting order (MPI's non-overtaking rule). Minimized
+  // replay: clean fabric, one round, schedule seed 1. Fixed by the
+  // per-(src, tag) receive chain in MpiComm::irecv.
+  TortureCase c;
+  c.seed = 1000;
+  c.recipe = 0;  // clean: the race needs no faults, only the schedule
+  c.mode = TortureMode::kMpiHybrid;
+  c.rounds = 1;
+  c.schedule_seed = 1;
+  TortureResult result = run_case(c);
+  EXPECT_TRUE(result.ok) << result.failure;
+}
+
+TEST(Torture, PerturbedCaseIsDeterministic) {
+  // The replay contract: (case, schedule_seed, jitter) fully determines
+  // the run, including under perturbation.
+  TortureCase c;
+  c.seed = 77;
+  c.recipe = 4;  // chaos_mix
+  c.mode = TortureMode::kEvictionCapped;
+  c.schedule_seed = 13;
+  c.schedule_jitter = 300;
+  TortureResult first = run_case(c);
+  TortureResult second = run_case(c);
+  EXPECT_TRUE(first.ok) << first.failure;
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.events_seen, second.events_seen);
+  EXPECT_EQ(first.ud_datagrams, second.ud_datagrams);
+  EXPECT_EQ(first.fault_decisions, second.fault_decisions);
 }
 
 TEST(Torture, KilledUdEndpointFailsLoudlyNotSilently) {

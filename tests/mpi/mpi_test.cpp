@@ -47,6 +47,20 @@ struct Env {
   std::vector<std::unique_ptr<MpiComm>> comms;
 };
 
+std::vector<std::byte> encode_int(int value) {
+  std::vector<std::byte> out(sizeof(int));
+  std::memcpy(out.data(), &value, sizeof(int));
+  return out;
+}
+
+int decode_int(const std::vector<std::byte>& bytes) {
+  int value = -1;
+  if (bytes.size() == sizeof(int)) {
+    std::memcpy(&value, bytes.data(), sizeof(int));
+  }
+  return value;
+}
+
 TEST(Mpi, SendRecvRoundTrip) {
   Env env(2, 1);
   env.run_pure([](MpiComm& comm) -> sim::Task<> {
@@ -204,6 +218,65 @@ TEST(Hybrid, ShmemAndMpiShareConnections) {
   env.engine.run();
   EXPECT_EQ(env.job->pe(0).stats().counter("connections_established"), 1);
   EXPECT_EQ(env.job->pe(0).communicating_peers(), 1u);
+}
+
+TEST(Mpi, MatchboxesAreReclaimedWhenDrained) {
+  // The per-(src, tag) mailboxes used to be created on first message and
+  // never reclaimed, so cycling through tags leaked one mailbox per tag
+  // ever used. A fully drained communicator must be back to zero.
+  Env env(2, 1);
+  env.run_pure([](MpiComm& comm) -> sim::Task<> {
+    constexpr int kTags = 32;
+    if (comm.rank() == 0) {
+      for (int t = 0; t < kTags; ++t) {
+        co_await comm.send_value<int>(1, 100 + t, t);
+      }
+    } else {
+      for (int t = 0; t < kTags; ++t) {
+        int got = co_await comm.recv_value<int>(0, 100 + t);
+        EXPECT_EQ(got, t);
+      }
+    }
+  });
+  EXPECT_EQ(env.comms[0]->matchbox_count(), 0u);
+  EXPECT_EQ(env.comms[1]->matchbox_count(), 0u);
+  // Reclaim is per-drain, not per-teardown: created == reclaimed.
+  EXPECT_EQ(env.comms[1]->conduit().stats().counter("mpi_matchbox_created"),
+            env.comms[1]->conduit().stats().counter("mpi_matchbox_reclaimed"));
+}
+
+TEST(Mpi, BackToBackSameTagSendsStayFifoUnderShuffledSchedules) {
+  // MPI's non-overtaking rule, pinned under perturbed event schedules:
+  // two back-to-back isends with the same (src, tag) — and the two irecvs
+  // matching them — must pair up in posting order for every tie-break
+  // seed. Seed 0 is the historical insertion order.
+  for (std::uint64_t schedule_seed : {0ull, 1ull, 9ull, 23ull, 40ull}) {
+    Env env(2, 1);
+    if (schedule_seed != 0) {
+      sim::SchedulePolicy policy;
+      policy.tie_break = sim::SchedulePolicy::TieBreak::kSeededShuffle;
+      policy.seed = schedule_seed;
+      env.engine.set_schedule_policy(policy);
+    }
+    env.run_pure([schedule_seed](MpiComm& comm) -> sim::Task<> {
+      if (comm.rank() == 0) {
+        MpiComm::Request s0 = comm.isend(1, 5, encode_int(111));
+        MpiComm::Request s1 = comm.isend(1, 5, encode_int(222));
+        std::vector<MpiComm::Request> sends;
+        sends.push_back(s0);
+        sends.push_back(s1);
+        co_await comm.waitall(std::move(sends));
+      } else {
+        MpiComm::Request r0 = comm.irecv(0, 5);
+        MpiComm::Request r1 = comm.irecv(0, 5);
+        std::vector<std::byte> m0 = co_await comm.wait(r0);
+        std::vector<std::byte> m1 = co_await comm.wait(r1);
+        EXPECT_EQ(decode_int(m0), 111) << "schedule_seed=" << schedule_seed;
+        EXPECT_EQ(decode_int(m1), 222) << "schedule_seed=" << schedule_seed;
+      }
+    });
+    EXPECT_EQ(env.comms[1]->matchbox_count(), 0u);
+  }
 }
 
 TEST(Mpi, WtimeAdvances) {

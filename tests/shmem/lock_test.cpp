@@ -1,6 +1,13 @@
-// Tests for the distributed lock API (shmem_set_lock / clear_lock).
+// Tests for the distributed lock API (shmem_set_lock / clear_lock),
+// including the torture crossing: lock contention while on-demand
+// connections are evicted underneath the CAS loop and the UD control
+// channel drops datagrams, swept across perturbed event schedules.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
+#include "check/fault_plan.hpp"
 #include "shmem/job.hpp"
 #include "test_util.hpp"
 
@@ -10,6 +17,71 @@ namespace {
 using testutil::JobEnv;
 using testutil::small_job;
 using testutil::with_init;
+
+struct LockTortureOutcome {
+  bool ok = true;
+  std::string failure{};
+};
+
+/// Lock torture recipe: every PE increments a PE-0 counter under the lock
+/// while `max_active_connections = 2` forces the lock-home connection in
+/// and out of existence and `recipe` injects UD faults. `schedule_seed`
+/// perturbs same-timestamp event order (0 = insertion order).
+LockTortureOutcome run_lock_torture(std::uint32_t recipe,
+                                    std::uint64_t schedule_seed) {
+  constexpr std::uint32_t kRanks = 6;
+  constexpr int kIters = 3;
+  core::ConduitConfig conduit = core::proposed_design();
+  conduit.max_active_connections = 2;  // eviction churn under the lock
+  JobEnv env(small_job(kRanks, 3, conduit));
+  if (schedule_seed != 0) {
+    sim::SchedulePolicy policy;
+    policy.tie_break = sim::SchedulePolicy::TieBreak::kSeededShuffle;
+    policy.seed = schedule_seed;
+    env.engine.set_schedule_policy(policy);
+  }
+  check::FaultPlan plan =
+      check::FaultPlan::from_recipe(recipe, 91 + schedule_seed, kRanks);
+  plan.install(env.job.conduit_job().fabric());
+
+  LockTortureOutcome outcome;
+  env.job.spawn_all(with_init([&outcome](ShmemPe& pe) -> sim::Task<> {
+    SymAddr lock = pe.heap().allocate(8);
+    SymAddr counter = pe.heap().allocate(8);
+    pe.local_write<std::uint64_t>(lock, 0);
+    pe.local_write<std::uint64_t>(counter, 0);
+    co_await pe.barrier_all();
+    for (int i = 0; i < kIters; ++i) {
+      co_await pe.set_lock(lock);
+      std::uint64_t value = co_await pe.get_value<std::uint64_t>(0, counter);
+      co_await pe.engine().delay(3 * sim::usec);  // widen the race window
+      co_await pe.put_value<std::uint64_t>(0, counter, value + 1);
+      co_await pe.clear_lock(lock);
+    }
+    co_await pe.barrier_all();
+    if (pe.rank() == 0) {
+      std::uint64_t landed = pe.local_read<std::uint64_t>(counter);
+      if (landed != kRanks * kIters) {
+        outcome.failure = "lock mutual exclusion broken: counter " +
+                          std::to_string(landed) + ", expected " +
+                          std::to_string(kRanks * kIters);
+      }
+    }
+  }));
+  try {
+    env.engine.run();
+  } catch (const std::exception& error) {
+    outcome.failure = error.what();
+  }
+  if (!outcome.failure.empty()) {
+    outcome.failure += " [recipe=" +
+                       std::string(check::FaultPlan::recipe_name(recipe)) +
+                       " schedule_seed=" + std::to_string(schedule_seed) +
+                       "]";
+    outcome.ok = false;
+  }
+  return outcome;
+}
 
 TEST(Lock, MutualExclusionUnderContention) {
   constexpr std::uint32_t kRanks = 8;
@@ -92,6 +164,33 @@ TEST(Lock, WorksUnderStaticDesign) {
     co_await pe.clear_lock(lock);
     co_await pe.barrier_all();
   }));
+}
+
+TEST(Lock, MutualExclusionUnderEviction) {
+  // Clean fabric, but the connection cap alone forces the lock-home
+  // connection to be evicted and re-established mid-CAS-loop.
+  LockTortureOutcome outcome = run_lock_torture(/*recipe=*/0,
+                                                /*schedule_seed=*/0);
+  EXPECT_TRUE(outcome.ok) << outcome.failure;
+}
+
+TEST(Lock, SurvivesUdLossUnderEviction) {
+  // Recipes 1 (request drop), 2 (heavy loss) and 4 (chaos mix) against the
+  // same capped job: lost handshakes turn into retransmissions underneath
+  // set_lock's remote CAS, never into lost or duplicated increments.
+  for (std::uint32_t recipe : {1u, 2u, 4u}) {
+    LockTortureOutcome outcome = run_lock_torture(recipe, /*schedule_seed=*/0);
+    EXPECT_TRUE(outcome.ok) << outcome.failure;
+  }
+}
+
+TEST(Lock, SurvivesPerturbedSchedules) {
+  // The schedule-exploration hook: the chaos recipe under several seeded
+  // tie-break permutations of same-timestamp events.
+  for (std::uint64_t schedule_seed : {3ull, 17ull, 51ull}) {
+    LockTortureOutcome outcome = run_lock_torture(/*recipe=*/4, schedule_seed);
+    EXPECT_TRUE(outcome.ok) << outcome.failure;
+  }
 }
 
 TEST(Lock, BackoffKeepsRetransmitsBounded) {

@@ -40,7 +40,11 @@ struct RegTortureResult {
 
 /// One seeded run: random puts/atomics from every PE across random peers
 /// and chunks, then a global audit of the final heap contents.
-RegTortureResult run_reg_torture(std::uint64_t seed, std::uint32_t recipe) {
+/// `schedule_seed` != 0 additionally permutes same-timestamp event order
+/// (sim::SchedulePolicy::kSeededShuffle), crossing the registration
+/// protocol with schedule perturbation.
+RegTortureResult run_reg_torture(std::uint64_t seed, std::uint32_t recipe,
+                                 std::uint64_t schedule_seed = 0) {
   RegTortureResult result;
 
   core::ConduitConfig conduit = core::proposed_design();
@@ -51,6 +55,12 @@ RegTortureResult run_reg_torture(std::uint64_t seed, std::uint32_t recipe) {
   config.shmem.reg_pinned_max_bytes = kPinCap;
 
   JobEnv env(config);
+  if (schedule_seed != 0) {
+    sim::SchedulePolicy policy;
+    policy.tie_break = sim::SchedulePolicy::TieBreak::kSeededShuffle;
+    policy.seed = schedule_seed;
+    env.engine.set_schedule_policy(policy);
+  }
 
   check::FaultPlan plan = check::FaultPlan::from_recipe(recipe, seed, kRanks);
   plan.install(env.job.conduit_job().fabric());
@@ -143,6 +153,7 @@ RegTortureResult run_reg_torture(std::uint64_t seed, std::uint32_t recipe) {
   if (!result.ok) {
     result.failure += "\n  seed=" + std::to_string(seed) +
                       " recipe=" + check::FaultPlan::recipe_name(recipe) +
+                      " schedule_seed=" + std::to_string(schedule_seed) +
                       "\n  plan: " + plan.describe();
   }
   return result;
@@ -165,6 +176,19 @@ TEST(RegTorture, SweepAllRecipes) {
   // hits: 8 chunks per target under a 2-chunk cap guarantees churn.
   EXPECT_GT(total_evictions, 0);
   EXPECT_GT(total_faults, 0);
+}
+
+TEST(RegTorture, SurvivesPerturbedSchedules) {
+  // Schedule exploration crossed with the registration recipes: the pin-cap
+  // drain, the rkey-fault protocol and the connection-eviction drain all
+  // stay correct under seeded tie-break permutations of the event queue.
+  for (std::uint32_t recipe : {0u, 1u, 4u}) {
+    for (std::uint64_t schedule_seed : {5ull, 29ull}) {
+      RegTortureResult result =
+          run_reg_torture(6000 + schedule_seed, recipe, schedule_seed);
+      ASSERT_TRUE(result.ok) << result.failure;
+    }
+  }
 }
 
 TEST(RegTorture, EvictionChurnSurvivesRequestDrops) {
