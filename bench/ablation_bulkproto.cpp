@@ -1,0 +1,157 @@
+// Ablation A10: large-message protocol tiers (eager / pipelined /
+// rendezvous) under the MPI-lite and shmem layers.
+//
+// Eager delivery charges the receiver a bounce-buffer copy
+// (fabric::eager_copy_bytes_per_ns); rendezvous replaces the copy with an
+// RTS / credit-grant round trip plus sink posting, then streams zero-copy
+// fragments. The sweep locates the crossover size where the fixed
+// rendezvous overhead starts beating the linear copy cost — the number
+// the `rendezvous_threshold` knob should be set to.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpi/mpi.hpp"
+
+using namespace odcm;
+using namespace odcm::bench;
+
+namespace {
+
+core::ConduitConfig tiered(std::uint64_t eager, std::uint64_t rdv,
+                           std::uint64_t chunk = 64 << 10) {
+  core::ConduitConfig conduit = core::proposed_design();
+  conduit.eager_threshold = eager;
+  conduit.rendezvous_threshold = rdv;
+  conduit.bulk_chunk_bytes = chunk;
+  conduit.qp_credits = 4;
+  return conduit;
+}
+
+/// Mean round-trip (us): rank 0 sends `bytes`, rank 1 answers 8 bytes.
+double pingpong_us(core::ConduitConfig conduit, std::uint32_t iters,
+                   std::uint32_t bytes) {
+  shmem::ShmemJobConfig config;
+  config.job.ranks = 2;
+  config.job.ranks_per_node = 1;  // two nodes, IB path
+  config.job.conduit = conduit;
+  config.shmem.heap_bytes = 1 << 16;
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, config);
+  std::vector<std::unique_ptr<mpi::MpiComm>> comms;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    comms.push_back(
+        std::make_unique<mpi::MpiComm>(job.conduit_job().conduit(r)));
+  }
+  double rtt_us = 0;
+  constexpr std::uint32_t kWarmup = 5;
+  job.conduit_job().spawn_all([&](core::Conduit& c) -> sim::Task<> {
+    mpi::MpiComm& comm = *comms[c.rank()];
+    co_await comm.init();
+    std::vector<std::byte> payload(bytes, std::byte{5});
+    sim::Time t0{};
+    for (std::uint32_t i = 0; i < iters + kWarmup; ++i) {
+      if (i == kWarmup) t0 = engine.now();
+      if (comm.rank() == 0) {
+        co_await comm.send(1, 1, payload);
+        (void)co_await comm.recv(1, 2);
+      } else {
+        (void)co_await comm.recv(0, 1);
+        co_await comm.send_value<std::uint64_t>(0, 2, i);
+      }
+    }
+    if (comm.rank() == 0) {
+      rtt_us = sim::to_usec(engine.now() - t0) / iters;
+    }
+    co_await comm.barrier();
+  });
+  engine.run();
+  return rtt_us;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kIters = 200;
+  std::printf("Ablation A10: eager vs rendezvous message delivery, 2 ranks "
+              "on 2 nodes\n\n");
+  std::printf("MPI tagged pingpong round trip (us)\n");
+  print_rule(60);
+  std::printf("%10s %12s %14s %14s\n", "Size(B)", "Eager", "Rendezvous",
+              "Rdv gain");
+
+  // Both configs run the tier engine (identical eager copy model); only
+  // the routing threshold differs.
+  core::ConduitConfig eager_conduit = tiered(0, 1ULL << 40);
+  core::ConduitConfig rdv_conduit = tiered(0, 512);
+  double crossover = 0;
+  double prev_gap = 0;
+  double prev_size = 0;
+  for (std::uint32_t bytes = 1 << 10; bytes <= (512 << 10); bytes *= 2) {
+    double eager = pingpong_us(eager_conduit, kIters, bytes);
+    double rdv = pingpong_us(rdv_conduit, kIters, bytes);
+    std::printf("%10u %12.2f %14.2f %13.1f%%\n", bytes, eager, rdv,
+                100.0 * (eager - rdv) / eager);
+    double gap = rdv - eager;  // positive while eager wins
+    if (crossover == 0 && gap <= 0) {
+      crossover = prev_size == 0
+                      ? bytes
+                      : prev_size + (bytes - prev_size) * prev_gap /
+                                        (prev_gap - gap);
+    }
+    prev_gap = gap;
+    prev_size = bytes;
+  }
+  print_rule(60);
+  if (crossover > 0) {
+    std::printf("crossover: rendezvous wins above ~%.0f bytes\n\n", crossover);
+  } else {
+    std::printf("no crossover in the swept range\n\n");
+  }
+
+  // Per-tier one-sided put cost at a fixed 64 KiB size: what does the
+  // fragment pipeline / rendezvous handshake cost relative to the
+  // untouched eager RDMA path?
+  std::printf("shmem_put 64 KiB by tier (us)\n");
+  print_rule(60);
+  struct TierPoint {
+    const char* label;
+    core::ConduitConfig conduit;
+  };
+  const TierPoint tiers[] = {
+      {"eager", core::proposed_design()},
+      {"pipelined", tiered(512, 1ULL << 40, 16 << 10)},
+      {"rendezvous", tiered(0, 512, 16 << 10)},
+  };
+  for (const TierPoint& tier : tiers) {
+    shmem::ShmemJobConfig config;
+    config.job.ranks = 2;
+    config.job.ranks_per_node = 1;
+    config.job.conduit = tier.conduit;
+    config.shmem.heap_bytes = 4 << 20;
+    sim::Engine engine;
+    shmem::ShmemJob job(engine, config);
+    double us = 0;
+    job.spawn_all([&](shmem::ShmemPe& pe) -> sim::Task<> {
+      co_await pe.start_pes();
+      shmem::SymAddr buf = pe.heap().allocate(1 << 20, 8);
+      co_await pe.barrier_all();
+      if (pe.rank() == 0) {
+        std::vector<std::byte> data(64 << 10, std::byte{7});
+        for (std::uint32_t i = 0; i < 10; ++i) co_await pe.put(1, buf, data);
+        sim::Time t0 = pe.engine().now();
+        for (std::uint32_t i = 0; i < kIters; ++i) {
+          co_await pe.put(1, buf, data);
+        }
+        us = sim::to_usec(pe.engine().now() - t0) / kIters;
+      }
+      co_await pe.barrier_all();
+      co_await pe.finalize();
+    });
+    engine.run();
+    std::printf("%12s %10.2f\n", tier.label, us);
+  }
+  print_rule(60);
+  return 0;
+}

@@ -43,6 +43,7 @@ struct CliOptions {
   std::uint64_t schedule_seed = 0;   // replay: event tie-break seed
   std::uint64_t schedule_jitter = 0; // bounded per-event latency jitter
   std::uint32_t schedule_seeds = 0;  // sweep: tie-break seeds per case
+  bool bulkproto = false;
   bool inject_dup_bug = false;
   bool inject_schedule_bug = false;
   bool verbose = false;
@@ -66,6 +67,8 @@ void usage() {
          "  --schedule-jitter J  bounded per-event latency jitter, sim ns\n"
          "  --schedule-seeds K run each case under K tie-break seeds "
          "(schedule exploration; minimizes the first failure)\n"
+         "  --bulkproto        layer tiered large-message traffic (small\n"
+         "                     thresholds, 2-credit window) over every case\n"
          "  --inject-dup-bug   enable the deliberate protocol bug\n"
          "  --inject-schedule-bug  enable the seeded ordering bug\n"
          "  --verbose          print every case\n"
@@ -140,6 +143,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--schedule-seeds") {
       options.schedule_seeds =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--bulkproto") {
+      options.bulkproto = true;
     } else if (arg == "--inject-dup-bug") {
       options.inject_dup_bug = true;
     } else if (arg == "--inject-schedule-bug") {
@@ -185,6 +190,7 @@ int main(int argc, char** argv) {
     c.rounds = options.rounds;
     c.schedule_seed = options.schedule_seed;
     c.schedule_jitter = options.schedule_jitter;
+    c.bulkproto = options.bulkproto;
     c.inject_duplicate_suppression_bug = options.inject_dup_bug;
     c.inject_schedule_race_bug = options.inject_schedule_bug;
     return c;

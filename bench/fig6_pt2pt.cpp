@@ -83,19 +83,30 @@ double atomic_latency(core::ConduitConfig conduit, const AtomicOp& op) {
                     });
 }
 
+/// On-demand design with the rendezvous tier enabled above 4 KiB; smaller
+/// transfers stay on the unchanged eager path.
+core::ConduitConfig rendezvous_design() {
+  core::ConduitConfig conduit = core::proposed_design();
+  conduit.rendezvous_threshold = 4 << 10;
+  conduit.bulk_chunk_bytes = 64 << 10;
+  conduit.qp_credits = 4;
+  return conduit;
+}
+
 void size_table(const char* title,
                 double (*measure)(core::ConduitConfig, std::uint32_t)) {
   std::printf("%s latency (us)\n", title);
-  print_rule(54);
-  std::printf("%10s %12s %12s %10s\n", "Size(B)", "Static", "OnDemand",
-              "Diff(%)");
+  print_rule(68);
+  std::printf("%10s %12s %12s %12s %10s\n", "Size(B)", "Static", "OnDemand",
+              "Rendezvous", "Diff(%)");
   for (std::uint32_t size = 1; size <= (1u << 20); size *= 4) {
     double stat = measure(core::current_design(), size);
     double dyn = measure(core::proposed_design(), size);
-    std::printf("%10u %12.2f %12.2f %9.2f%%\n", size, stat, dyn,
+    double rdv = measure(rendezvous_design(), size);
+    std::printf("%10u %12.2f %12.2f %12.2f %9.2f%%\n", size, stat, dyn, rdv,
                 100.0 * (dyn - stat) / stat);
   }
-  print_rule(54);
+  print_rule(68);
 }
 
 }  // namespace

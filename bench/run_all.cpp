@@ -352,6 +352,20 @@ void bench_fig5(const BenchContext& ctx, telemetry::BenchReport& report) {
   report.set_metric("start_odreg_speedup_at_max_pes", odreg_ratio);
 }
 
+/// On-demand design with the large-message tier engine switched on:
+/// eager below `eager`, pipelined fragment streams up to `rdv`, RTS/CTS
+/// rendezvous above.
+core::ConduitConfig tiered_design(std::uint64_t eager, std::uint64_t rdv,
+                                  std::uint64_t chunk = 64 << 10,
+                                  std::uint32_t credits = 4) {
+  core::ConduitConfig conduit = core::proposed_design();
+  conduit.eager_threshold = eager;
+  conduit.rendezvous_threshold = rdv;
+  conduit.bulk_chunk_bytes = chunk;
+  conduit.qp_credits = credits;
+  return conduit;
+}
+
 void bench_fig6(const BenchContext& ctx, telemetry::BenchReport& report) {
   std::vector<std::uint32_t> sizes;
   for (std::uint32_t size = 1; size <= (1u << 20); size *= 4) {
@@ -376,19 +390,27 @@ void bench_fig6(const BenchContext& ctx, telemetry::BenchReport& report) {
       co_await pe.get(1, buf, dest);
     };
   };
+  // Third series: the proposed design with the rendezvous tier enabled
+  // above 4 KiB (small transfers stay on the unchanged eager path).
+  core::ConduitConfig rdv_conduit = tiered_design(/*eager=*/0,
+                                                  /*rdv=*/4 << 10);
   for (std::uint32_t size : sizes) {
     std::uint32_t n = size >= (256 << 10) ? iters / 10 : iters;
     double stat = pt2pt_loop(ctx, core::current_design(), n, get_op(size));
     double dyn = pt2pt_loop(ctx, core::proposed_design(), n, get_op(size));
+    double rdv = pt2pt_loop(ctx, rdv_conduit, n, get_op(size));
     report.add_row("get_latency", size,
                    {{"static_us", stat},
                     {"ondemand_us", dyn},
+                    {"rendezvous_us", rdv},
                     {"diff_pct", 100.0 * (dyn - stat) / stat}});
     stat = pt2pt_loop(ctx, core::current_design(), n, put_op(size));
     dyn = pt2pt_loop(ctx, core::proposed_design(), n, put_op(size));
+    rdv = pt2pt_loop(ctx, rdv_conduit, n, put_op(size));
     report.add_row("put_latency", size,
                    {{"static_us", stat},
                     {"ondemand_us", dyn},
+                    {"rendezvous_us", rdv},
                     {"diff_pct", 100.0 * (dyn - stat) / stat}});
   }
 
@@ -940,6 +962,135 @@ void bench_ablation_registration(const BenchContext& ctx,
   report.set_metric("eager_reg_s", eager_sample.eager_reg_s);
 }
 
+/// Mean round-trip (us) of `iters` tagged message exchanges: rank 0 sends
+/// `bytes`, rank 1 answers with an 8-byte ack. The bulk tier engine sits
+/// under MpiComm, so the same loop measures eager vs rendezvous delivery.
+double mpi_pingpong_us(const BenchContext& ctx, core::ConduitConfig conduit,
+                       std::uint32_t iters, std::uint32_t bytes) {
+  shmem::ShmemJobConfig config;
+  config.job.ranks = 2;
+  config.job.ranks_per_node = 1;  // two nodes, IB path
+  config.job.conduit = conduit;
+  config.job.fabric.seed = ctx.seed;
+  config.shmem.heap_bytes = 1 << 16;
+  sim::Engine engine;
+  shmem::ShmemJob job(engine, config);
+  std::vector<std::unique_ptr<mpi::MpiComm>> comms;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    comms.push_back(
+        std::make_unique<mpi::MpiComm>(job.conduit_job().conduit(r)));
+  }
+  double rtt_us = 0;
+  constexpr std::uint32_t kWarmup = 5;
+  job.conduit_job().spawn_all([&](core::Conduit& c) -> sim::Task<> {
+    mpi::MpiComm& comm = *comms[c.rank()];
+    co_await comm.init();
+    std::vector<std::byte> payload(bytes, std::byte{5});
+    sim::Time t0{};
+    for (std::uint32_t i = 0; i < iters + kWarmup; ++i) {
+      if (i == kWarmup) t0 = engine.now();
+      if (comm.rank() == 0) {
+        co_await comm.send(1, 1, payload);
+        (void)co_await comm.recv(1, 2);
+      } else {
+        (void)co_await comm.recv(0, 1);
+        co_await comm.send_value<std::uint64_t>(0, 2, i);
+      }
+    }
+    if (comm.rank() == 0) {
+      rtt_us = sim::to_usec(engine.now() - t0) / iters;
+    }
+    co_await comm.barrier();
+  });
+  engine.run();
+  return rtt_us;
+}
+
+void bench_ablation_bulkproto(const BenchContext& ctx,
+                              telemetry::BenchReport& report) {
+  // Ablation A10: where does rendezvous start paying for its RTS/CTS round
+  // trip? Eager delivery charges the receiver a bounce-buffer copy
+  // (`eager_copy_bytes_per_ns`), rendezvous replaces it with a fixed
+  // control-message overhead plus sink posting — the crossover is the
+  // eager threshold the knob table should recommend.
+  std::vector<std::uint32_t> sizes =
+      ctx.quick
+          ? std::vector<std::uint32_t>{1 << 10, 8 << 10, 32 << 10, 128 << 10}
+          : std::vector<std::uint32_t>{1 << 10,  4 << 10,   16 << 10,
+                                       32 << 10, 64 << 10,  128 << 10,
+                                       256 << 10, 512 << 10};
+  std::uint32_t iters = ctx.quick ? 50 : 200;
+  report.set_config("pes", std::int64_t{2});
+  report.set_config("iters", static_cast<std::int64_t>(iters));
+
+  // Both configs enable the tier engine (so the eager copy model applies
+  // to both); only the routing threshold differs.
+  core::ConduitConfig eager_conduit =
+      tiered_design(/*eager=*/0, /*rdv=*/1ULL << 40);
+  core::ConduitConfig rdv_conduit = tiered_design(/*eager=*/0, /*rdv=*/512);
+
+  std::vector<double> xs;
+  std::vector<double> eager_us;
+  std::vector<double> rdv_us;
+  for (std::uint32_t bytes : sizes) {
+    double eager = mpi_pingpong_us(ctx, eager_conduit, iters, bytes);
+    double rdv = mpi_pingpong_us(ctx, rdv_conduit, iters, bytes);
+    xs.push_back(bytes);
+    eager_us.push_back(eager);
+    rdv_us.push_back(rdv);
+    report.add_row("mpi_pingpong", bytes,
+                   {{"eager_us", eager},
+                    {"rendezvous_us", rdv},
+                    {"rdv_advantage_pct", 100.0 * (eager - rdv) / eager}});
+  }
+  // Crossover: first size where rendezvous wins, linearly interpolated on
+  // the latency gap against the previous sample. 0 means no crossover in
+  // the swept range.
+  double crossover = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (rdv_us[i] > eager_us[i]) continue;
+    if (i == 0) {
+      crossover = xs[0];
+    } else {
+      double gap_lo = rdv_us[i - 1] - eager_us[i - 1];
+      double gap_hi = rdv_us[i] - eager_us[i];
+      crossover = xs[i - 1] + (xs[i] - xs[i - 1]) * gap_lo /
+                                  (gap_lo - gap_hi);
+    }
+    break;
+  }
+  report.set_metric("crossover_bytes", crossover);
+
+  // Companion sweep at the shmem layer: one-sided put latency per tier at
+  // a fixed size, isolating what fragmentation and the RTS/CTS handshake
+  // cost relative to the untouched eager RDMA path.
+  constexpr std::uint32_t kPutBytes = 64 << 10;
+  auto put_op = [](shmem::ShmemPe& pe, shmem::SymAddr buf) -> sim::Task<> {
+    std::vector<std::byte> data(kPutBytes, std::byte{7});
+    co_await pe.put(1, buf, data);
+  };
+  struct TierPoint {
+    const char* label;
+    core::ConduitConfig conduit;
+  };
+  const TierPoint tiers[] = {
+      {"eager", core::proposed_design()},
+      {"pipelined", tiered_design(/*eager=*/512, /*rdv=*/1ULL << 40,
+                                  /*chunk=*/16 << 10)},
+      {"rendezvous", tiered_design(/*eager=*/0, /*rdv=*/512,
+                                   /*chunk=*/16 << 10)},
+  };
+  for (std::size_t i = 0; i < std::size(tiers); ++i) {
+    double us = pt2pt_loop(ctx, tiers[i].conduit, iters,
+                           [&](shmem::ShmemPe& pe,
+                               shmem::SymAddr buf) -> sim::Task<> {
+                             co_await put_op(pe, buf);
+                           });
+    report.add_row("shmem_put_64k", static_cast<double>(i),
+                   {{"latency_us", us}}, tiers[i].label);
+  }
+}
+
 const std::vector<BenchDef>& registry() {
   static const std::vector<BenchDef> benches = {
       {"fig1_startup_breakdown",
@@ -967,6 +1118,9 @@ const std::vector<BenchDef>& registry() {
       {"ablation_registration",
        "on-demand registration: chunk size x pin cap x locality (A9)",
        bench_ablation_registration},
+      {"ablation_bulkproto",
+       "large-message tiers: eager vs rendezvous crossover (A10)",
+       bench_ablation_bulkproto},
       {"connect_storm",
        "connection-manager hot path under a small cap (host + sim cost)",
        bench_connect_storm},

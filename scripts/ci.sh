@@ -31,6 +31,17 @@ ctest --test-dir "${prefix}" --output-on-failure -L torture
 "${prefix}/bench/check_sweep" --seeds 50 \
   --json "${prefix}/bench-artifacts/CHECK_sweep.json"
 
+echo "==> large-message protocol tiers (label: bulkproto)"
+# Wire-format fuzzing for the rendezvous/credit packets, tier routing and
+# zero-length pins, the byte-identical transport matrix over all tiers,
+# MPI rendezvous, and the credit/fragment-conservation torture cases.
+ctest --test-dir "${prefix}" --output-on-failure -L bulkproto
+"${prefix}/bench/check_sweep" --seeds 25 --bulkproto \
+  --json "${prefix}/bench-artifacts/CHECK_bulkproto_sweep.json"
+"${prefix}/bench/check_sweep" --seeds 3 --schedule-seeds 4 --bulkproto \
+  --schedule-jitter 200 \
+  --json "${prefix}/bench-artifacts/CHECK_bulkproto_schedule_sweep.json"
+
 echo "==> schedule exploration (label: schedule)"
 # Seeded tie-break permutation of same-timestamp events: every recipe x
 # mode base case re-run under perturbed schedules, plus a bounded-jitter
@@ -72,8 +83,14 @@ ASAN_OPTIONS=detect_leaks=0 \
 # coroutine frame lifetimes, which is exactly where use-after-free hides.
 ASAN_OPTIONS=detect_leaks=0 \
   ctest --test-dir "${prefix}-asan" --output-on-failure -L schedule
+# The bulk tier engine under ASan: fragment streams hold spans and rkey
+# leases across suspension points — lifetime bugs would surface here.
+ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir "${prefix}-asan" --output-on-failure -L bulkproto
 ASAN_OPTIONS=detect_leaks=0 "${prefix}-asan/bench/check_sweep" --seeds 10
 ASAN_OPTIONS=detect_leaks=0 "${prefix}-asan/bench/check_sweep" --seeds 2 \
   --schedule-seeds 4
+ASAN_OPTIONS=detect_leaks=0 "${prefix}-asan/bench/check_sweep" --seeds 5 \
+  --bulkproto
 
 echo "==> ci.sh: all green"

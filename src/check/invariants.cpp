@@ -85,6 +85,26 @@ std::string InvariantChecker::format(const ProtocolEvent& event) {
       out << "reg-rkey-used chunk=" << event.attempt
           << " rkey=" << event.detail;
       break;
+    case ProtocolEvent::Kind::kRtsIssued:
+      out << "rts seq=" << event.attempt << " len=" << event.detail;
+      break;
+    case ProtocolEvent::Kind::kCtsIssued:
+      out << "cts seq=" << event.attempt;
+      break;
+    case ProtocolEvent::Kind::kRendezvousDone:
+      out << "rendezvous-done seq=" << event.attempt
+          << (event.detail != 0 ? " (aborted)" : "");
+      break;
+    case ProtocolEvent::Kind::kCreditStall:
+      out << "credit-stall ns=" << event.detail;
+      break;
+    case ProtocolEvent::Kind::kBulkFragmentSent:
+      out << "frag-sent seq=" << event.detail << " idx=" << event.attempt;
+      break;
+    case ProtocolEvent::Kind::kBulkFragmentDelivered:
+      out << "frag-delivered seq=" << event.detail
+          << " idx=" << event.attempt;
+      break;
   }
   return out.str();
 }
@@ -245,6 +265,14 @@ void InvariantChecker::on_event(const ProtocolEvent& event) {
     case ProtocolEvent::Kind::kRegRkeyUsed:
       check_reg_event(event);
       break;
+    case ProtocolEvent::Kind::kRtsIssued:
+    case ProtocolEvent::Kind::kCtsIssued:
+    case ProtocolEvent::Kind::kRendezvousDone:
+    case ProtocolEvent::Kind::kCreditStall:
+    case ProtocolEvent::Kind::kBulkFragmentSent:
+    case ProtocolEvent::Kind::kBulkFragmentDelivered:
+      check_bulk_event(event);
+      break;
   }
   remember(event);
 }
@@ -346,6 +374,90 @@ void InvariantChecker::check_reg_event(const ProtocolEvent& event) {
   }
 }
 
+void InvariantChecker::check_bulk_event(const ProtocolEvent& event) {
+  switch (event.kind) {
+    case ProtocolEvent::Kind::kRtsIssued: {
+      const PairState& pair = pairs_[{event.self, event.peer}];
+      if (pair.phase != PeerPhase::kConnected) {
+        fail(event, "RTS issued toward a peer that is not Connected");
+      }
+      auto [it, inserted] =
+          rdv_.try_emplace({event.self, event.peer, event.attempt});
+      if (!inserted) {
+        fail(event, "duplicate rendezvous sequence for this pair");
+      }
+      it->second.has_rts = true;
+      break;
+    }
+    case ProtocolEvent::Kind::kCtsIssued: {
+      // Emitted at the target; the stream it answers is (peer -> self).
+      auto it = rdv_.find({event.peer, event.self, event.attempt});
+      if (it == rdv_.end()) {
+        fail(event, "CTS issued for a rendezvous whose RTS was never "
+                    "observed");
+      }
+      if (it->second.cts_seen) {
+        fail(event, "duplicate CTS for one rendezvous sequence");
+      }
+      it->second.cts_seen = true;
+      break;
+    }
+    case ProtocolEvent::Kind::kBulkFragmentSent: {
+      // `detail` carries the stream sequence; pipelined windows create
+      // their stream here (no RTS), rendezvous streams must have one.
+      RdvState& st = rdv_[{event.self, event.peer,
+                           static_cast<std::uint32_t>(event.detail)}];
+      if (st.has_rts && !st.cts_seen) {
+        fail(event, "rendezvous fragment issued before the CTS arrived");
+      }
+      if (st.done) {
+        fail(event, "fragment issued after the stream reported done");
+      }
+      if (event.attempt != st.next_frag) {
+        fail(event, "fragment issued out of order (expected idx " +
+                        std::to_string(st.next_frag) + ")");
+      }
+      ++st.next_frag;
+      ++st.sent;
+      break;
+    }
+    case ProtocolEvent::Kind::kBulkFragmentDelivered: {
+      auto it = rdv_.find({event.self, event.peer,
+                           static_cast<std::uint32_t>(event.detail)});
+      if (it == rdv_.end()) {
+        fail(event, "fragment delivered on an unknown stream");
+      }
+      if (++it->second.delivered > it->second.sent) {
+        fail(event, "more fragments delivered than sent (conservation "
+                    "broken)");
+      }
+      break;
+    }
+    case ProtocolEvent::Kind::kRendezvousDone: {
+      auto it = rdv_.find({event.self, event.peer, event.attempt});
+      if (it == rdv_.end()) {
+        fail(event, "rendezvous-done without an observed RTS");
+      }
+      RdvState& st = it->second;
+      if (!st.has_rts) {
+        fail(event, "rendezvous-done on a bare pipelined stream");
+      }
+      if (!st.cts_seen) {
+        fail(event, "rendezvous completed without a CTS");
+      }
+      if (st.sent != st.delivered) {
+        fail(event, "rendezvous completed with fragments still in flight");
+      }
+      st.done = true;
+      break;
+    }
+    case ProtocolEvent::Kind::kCreditStall:
+      break;  // informational (latency lives in telemetry)
+    default:
+      break;
+  }
+}
+
 void InvariantChecker::check_final(core::ConduitJob& job,
                                    bool after_teardown) {
   ProtocolEvent none;  // placeholder for fail()'s report
@@ -372,6 +484,39 @@ void InvariantChecker::check_final(core::ConduitJob& job,
     if (counter("conn_retransmits") > budget) {
       fail(none, "stats: conn_retransmits exceeds the per-request retry "
                  "budget at pe" + std::to_string(r));
+    }
+    // Credit conservation: every credit granted at connect (or re-connect)
+    // must be back in the pool by finalize — an evicted QP returns its
+    // credits through the set_phase flush, stragglers through the stale-
+    // epoch release path. Both counters are zero when credits are off.
+    if (counter("credits_granted") != counter("credits_returned")) {
+      fail(none, "stats: credits_granted (" +
+                     std::to_string(counter("credits_granted")) +
+                     ") != credits_returned (" +
+                     std::to_string(counter("credits_returned")) +
+                     ") at pe" + std::to_string(r));
+    }
+  }
+
+  // Fragment conservation is global: MPI rendezvous counts the send at the
+  // sender and the delivery at the receiver, conduit RDMA streams count
+  // both at the initiator.
+  {
+    std::uint64_t frag_sent = 0;
+    std::uint64_t frag_delivered = 0;
+    for (fabric::RankId r = 0; r < job.ranks(); ++r) {
+      const sim::StatSet& stats = job.conduit(r).stats();
+      frag_sent +=
+          static_cast<std::uint64_t>(stats.counter("bulk_fragments_sent"));
+      frag_delivered += static_cast<std::uint64_t>(
+          stats.counter("bulk_fragments_delivered"));
+    }
+    if (frag_sent != frag_delivered) {
+      none.self = 0;
+      none.peer = 0;
+      fail(none, "stats: bulk fragments sent (" + std::to_string(frag_sent) +
+                     ") != delivered (" + std::to_string(frag_delivered) +
+                     ") across the job");
     }
   }
 
@@ -400,6 +545,21 @@ void InvariantChecker::check_final(core::ConduitJob& job,
     if (!reg.draining.empty()) {
       fail(none, "run ended with a registration eviction drain still in "
                  "flight (invalidation acks missing)");
+    }
+  }
+
+  for (const auto& [key, st] : rdv_) {
+    none.self = std::get<0>(key);
+    none.peer = std::get<1>(key);
+    if (st.has_rts && !st.done) {
+      fail(none, "run ended with rendezvous seq " +
+                     std::to_string(std::get<2>(key)) + " still open");
+    }
+    if (st.sent != st.delivered) {
+      fail(none, "run ended with bulk fragments in flight (seq " +
+                     std::to_string(std::get<2>(key)) + ": sent " +
+                     std::to_string(st.sent) + ", delivered " +
+                     std::to_string(st.delivered) + ")");
     }
   }
 

@@ -15,7 +15,11 @@
 //   * collisions resolve in favor of the lower rank (the event fires at the
 //     higher-ranked absorber);
 //   * RMA is issued only toward kConnected peers whose payload (segment
-//     keys) is installed.
+//     keys) is installed;
+//   * large-message streams obey the rendezvous protocol: RTS only on an
+//     established pair, at most one CTS per sequence, fragments issued in
+//     strict order and only after the CTS, never more delivered than sent,
+//     and done only once the stream drained (DESIGN.md §5.17).
 //
 // `check_final` then audits end-of-run state: terminal phases, role
 // complementarity, stats reconciliation (qp_created_rc >= connected peers,
@@ -31,6 +35,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "core/conduit.hpp"
@@ -114,6 +119,18 @@ class InvariantChecker final : public core::ProtocolObserver {
     std::uint64_t pinned_bytes = 0;
   };
 
+  /// One bulk fragment stream — a full RTS/CTS rendezvous (`has_rts`) or a
+  /// bare pipelined window — keyed by (initiator, target, sequence).
+  struct RdvState {
+    bool has_rts = false;
+    bool cts_seen = false;
+    bool done = false;
+    std::uint32_t next_frag = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+  };
+  using RdvKey = std::tuple<fabric::RankId, fabric::RankId, std::uint32_t>;
+
   [[noreturn]] void fail(const core::ProtocolEvent& event,
                          const std::string& reason) const;
   /// Same-node classification per `Options::ranks_per_node` (false when
@@ -124,6 +141,7 @@ class InvariantChecker final : public core::ProtocolObserver {
   }
   void check_phase_change(const core::ProtocolEvent& event, PairState& pair);
   void check_reg_event(const core::ProtocolEvent& event);
+  void check_bulk_event(const core::ProtocolEvent& event);
   [[nodiscard]] std::uint64_t reg_chunk_len(std::uint32_t chunk) const;
   void remember(const core::ProtocolEvent& event);
   [[nodiscard]] static std::string format(const core::ProtocolEvent& event);
@@ -136,6 +154,8 @@ class InvariantChecker final : public core::ProtocolObserver {
   /// (initiator, target): a later use by that initiator is a violation
   /// even if the target has not deregistered yet.
   std::map<PairKey, std::set<std::uint64_t>> reg_invalidated_{};
+  /// Bulk streams, keyed by (initiator, target, sequence).
+  std::map<RdvKey, RdvState> rdv_{};
   std::deque<std::string> history_{};
   std::uint64_t events_seen_ = 0;
 };

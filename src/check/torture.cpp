@@ -1,7 +1,9 @@
 #include "check/torture.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -32,6 +34,9 @@ std::string replay_command(const TortureCase& c) {
   }
   if (c.schedule_jitter != 0) {
     out << " --schedule-jitter " << c.schedule_jitter;
+  }
+  if (c.bulkproto) {
+    out << " --bulkproto";
   }
   if (c.inject_duplicate_suppression_bug) {
     out << " --inject-dup-bug";
@@ -68,6 +73,14 @@ core::JobConfig make_config(const TortureCase& c) {
       config.conduit.max_active_connections = 3;
       break;
   }
+  if (c.bulkproto) {
+    // Small thresholds + a tiny credit window so a few-KB transfer spans
+    // many fragments and every stream hits the flow-control stall path.
+    config.conduit.qp_credits = 2;
+    config.conduit.eager_threshold = 256;
+    config.conduit.rendezvous_threshold = 2048;
+    config.conduit.bulk_chunk_bytes = 512;
+  }
   config.conduit.test_skip_duplicate_suppression =
       c.inject_duplicate_suppression_bug;
   config.conduit.test_skip_established_recheck = c.inject_schedule_race_bug;
@@ -88,6 +101,27 @@ std::vector<std::byte> encode_rank(fabric::RankId rank) {
   std::vector<std::byte> out(8);
   std::uint64_t value = rank;
   std::memcpy(out.data(), &value, 8);
+  return out;
+}
+
+// Bulkproto segment layout: bytes [0, 8) stay the atomic counter; the
+// rendezvous-tier and pipelined-tier streams land in disjoint regions so
+// the post-run audit can check both final images independently.
+constexpr std::uint64_t kBulkRdvOffset = 8;
+constexpr std::uint64_t kBulkRdvLen = 3000;  ///< > rendezvous_threshold
+constexpr std::uint64_t kBulkPipeOffset = 4096;
+constexpr std::uint64_t kBulkPipeLen = 1500;  ///< eager < len <= rdv
+
+/// Deterministic byte pattern for bulk payloads: a (writer, round, salt)
+/// triple fully determines the region image, so the audit recomputes it.
+std::vector<std::byte> bulk_pattern(fabric::RankId writer,
+                                    std::uint32_t round, std::uint64_t salt,
+                                    std::uint64_t len) {
+  std::vector<std::byte> out(len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    out[i] = static_cast<std::byte>(
+        (writer * 131 + round * 17 + salt * 101 + i) & 0xff);
+  }
   return out;
 }
 
@@ -119,9 +153,10 @@ TortureResult run_case(const TortureCase& c) {
   // threaded, so plain shared vectors are race free).
   std::vector<std::unique_ptr<fabric::AddressSpace>> spaces;
   spaces.reserve(c.ranks);
+  const std::uint64_t space_bytes = c.bulkproto ? 16384 : 4096;
   for (fabric::RankId r = 0; r < c.ranks; ++r) {
     spaces.push_back(std::make_unique<fabric::AddressSpace>(
-        r, fabric::make_va_base(r), 4096));
+        r, fabric::make_va_base(r), space_bytes));
   }
   std::vector<fabric::MemoryRegion> mrs(c.ranks);
   std::vector<std::uint64_t> am_sent(c.ranks, 0);
@@ -157,6 +192,17 @@ TortureResult run_case(const TortureCase& c) {
             }
           });
     }
+    if (c.bulkproto) {
+      // The whole segment is registered eagerly below, so an incoming RTS
+      // resolves to a single range under the segment-wide rkey.
+      conduit.set_rendezvous_sink(
+          [&mrs, self](fabric::RankId, core::RdvOp, fabric::VirtAddr raddr,
+                       std::uint64_t len)
+              -> sim::Task<std::vector<core::RdvRange>> {
+            co_return std::vector<core::RdvRange>{
+                core::RdvRange{raddr, len, mrs[self].rkey}};
+          });
+    }
     co_await conduit.init();
     mrs[self] = co_await conduit.hca().register_memory(
         *spaces[self], spaces[self]->base(), spaces[self]->size());
@@ -189,6 +235,55 @@ TortureResult run_case(const TortureCase& c) {
                          std::to_string(dst);
         }
       }
+      if (c.bulkproto) {
+        // Large-message ring: every PE streams a rendezvous-tier and a
+        // pipelined-tier put into its right neighbor each round (rounds are
+        // sequential per PE, so the neighbor's final image is exactly the
+        // last round's pattern). Same-node peers under the shm transport
+        // carry no rendezvous — the tiers only exist on the RC path — so
+        // those rides go over shm_put and the audit stays byte-exact.
+        const auto right = static_cast<fabric::RankId>((self + 1) % c.ranks);
+        std::vector<std::byte> big =
+            bulk_pattern(self, round, /*salt=*/1, kBulkRdvLen);
+        std::vector<std::byte> mid =
+            bulk_pattern(self, round, /*salt=*/2, kBulkPipeLen);
+        const fabric::VirtAddr rdv_addr =
+            spaces[right]->base() + kBulkRdvOffset;
+        const fabric::VirtAddr pipe_addr =
+            spaces[right]->base() + kBulkPipeOffset;
+        if (conduit.shm_routes(right)) {
+          fabric::Completion w0 = co_await conduit.shm_put(right, rdv_addr,
+                                                           big);
+          fabric::Completion w1 = co_await conduit.shm_put(right, pipe_addr,
+                                                           mid);
+          if ((!w0.ok() || !w1.ok()) && body_failure.empty()) {
+            body_failure = "bulk shm_put failed toward rank " +
+                           std::to_string(right);
+          }
+        } else {
+          const bool ok = co_await conduit.rendezvous_put(right, rdv_addr,
+                                                          big);
+          if (!ok && body_failure.empty()) {
+            body_failure = "rendezvous_put aborted toward rank " +
+                           std::to_string(right) +
+                           " with no on_cts veto installed";
+          }
+          co_await conduit.put_fragmented(right, pipe_addr, mrs[right].rkey,
+                                          mid);
+          if (traffic.chance(0.25)) {
+            // Read-back audit mid-run: the stream above drained before
+            // returning, so a fragmented get must see exactly what we put.
+            std::vector<std::byte> back(kBulkPipeLen);
+            co_await conduit.get_fragmented(right, pipe_addr,
+                                            mrs[right].rkey, back);
+            if (back != mid && body_failure.empty()) {
+              body_failure = "pipelined read-back mismatch at rank " +
+                             std::to_string(self) + " round " +
+                             std::to_string(round);
+            }
+          }
+        }
+      }
       if (hybrid) {
         // Ring of tagged two-sided exchanges layered over the same conduit:
         // every PE posts two back-to-back isends with the SAME (dst, tag) to
@@ -212,11 +307,33 @@ TortureResult run_case(const TortureCase& c) {
         mpi::MpiComm::Request s0 = comm.isend(right, round, encode(base));
         mpi::MpiComm::Request s1 =
             comm.isend(right, round, encode(base + 1));
-        std::vector<std::byte> m0 = co_await comm.wait(r0);
-        std::vector<std::byte> m1 = co_await comm.wait(r1);
         std::vector<mpi::MpiComm::Request> sends;
         sends.push_back(s0);
         sends.push_back(s1);
+        // Bulkproto: one above-threshold tagged message per round rides
+        // the MPI rendezvous path (RTS / credit-grant CTS / fragment
+        // stream) on top of the eager FIFO pair above; its distinct tag
+        // keeps it out of the non-overtaking chain under audit.
+        std::vector<mpi::MpiComm::Request> bulk_recv;
+        std::vector<std::byte> bulk_want;
+        if (c.bulkproto) {
+          const std::uint64_t btag = 1000000ULL + round;
+          bulk_recv.push_back(comm.irecv(left, btag));
+          sends.push_back(comm.isend(
+              right, btag, bulk_pattern(self, round, /*salt=*/3,
+                                        kBulkRdvLen)));
+          bulk_want = bulk_pattern(left, round, /*salt=*/3, kBulkRdvLen);
+        }
+        std::vector<std::byte> m0 = co_await comm.wait(r0);
+        std::vector<std::byte> m1 = co_await comm.wait(r1);
+        if (!bulk_recv.empty()) {
+          std::vector<std::byte> bm = co_await comm.wait(bulk_recv.front());
+          if (bm != bulk_want && body_failure.empty()) {
+            body_failure = "MPI rendezvous payload mismatch at rank " +
+                           std::to_string(self) + " round " +
+                           std::to_string(round);
+          }
+        }
         co_await comm.waitall(std::move(sends));
         const std::uint64_t want =
             (static_cast<std::uint64_t>(left) << 32) | (round * 2ULL);
@@ -271,6 +388,34 @@ TortureResult run_case(const TortureCase& c) {
                          std::to_string(am_received[r]);
         break;
       }
+      if (c.bulkproto && c.rounds > 0) {
+        // The left neighbor wrote both bulk regions once per round, rounds
+        // strictly in order, so the final image must be the last round's
+        // pattern — any lost, duplicated or reordered fragment shows up as
+        // a byte mismatch here.
+        const auto left =
+            static_cast<fabric::RankId>((r + c.ranks - 1) % c.ranks);
+        const std::uint32_t last = c.rounds - 1;
+        const std::vector<std::byte> rdv_want =
+            bulk_pattern(left, last, /*salt=*/1, kBulkRdvLen);
+        const std::vector<std::byte> pipe_want =
+            bulk_pattern(left, last, /*salt=*/2, kBulkPipeLen);
+        std::span<const std::byte> image = spaces[r]->bytes();
+        if (!std::equal(rdv_want.begin(), rdv_want.end(),
+                        image.begin() + kBulkRdvOffset)) {
+          result.failure = "rendezvous region corrupt at rank " +
+                           std::to_string(r) + " (writer " +
+                           std::to_string(left) + ")";
+          break;
+        }
+        if (!std::equal(pipe_want.begin(), pipe_want.end(),
+                        image.begin() + kBulkPipeOffset)) {
+          result.failure = "pipelined region corrupt at rank " +
+                           std::to_string(r) + " (writer " +
+                           std::to_string(left) + ")";
+          break;
+        }
+      }
     }
   }
 
@@ -283,6 +428,8 @@ TortureResult run_case(const TortureCase& c) {
         totals.counter("rma_atomic_shm") + totals.counter("am_sent_shm"));
     result.mpi_msgs =
         static_cast<std::uint64_t>(totals.counter("mpi_send"));
+    result.bulk_fragments =
+        static_cast<std::uint64_t>(totals.counter("bulk_fragments_sent"));
   }
   result.ud_datagrams = job.fabric().ud_datagrams_sent();
   result.fault_decisions = plan.decisions();

@@ -51,6 +51,14 @@ struct TortureCase {
   std::uint64_t schedule_seed = 0;
   /// Bounded per-event latency jitter (`SchedulePolicy::jitter_max`).
   sim::Time schedule_jitter = 0;
+  /// Layer large-message traffic over every round: tiering thresholds and
+  /// a 2-credit flow-control window are forced on, each PE streams a
+  /// rendezvous-tier and a pipelined-tier put into its right neighbor's
+  /// (enlarged) segment, and the post-run audit checks the final byte
+  /// image plus credit/fragment conservation. Composes with every mode —
+  /// kEvictionCapped × bulkproto is the eviction-mid-rendezvous case,
+  /// kMpiHybrid × bulkproto adds a >threshold tagged message per round.
+  bool bulkproto = false;
   /// TEST ONLY: enable ConduitConfig::test_skip_duplicate_suppression to
   /// prove the checker catches a real protocol bug.
   bool inject_duplicate_suppression_bug = false;
@@ -69,6 +77,8 @@ struct TortureResult {
   std::uint64_t shm_ops = 0;
   /// Two-sided MPI messages exchanged (kMpiHybrid mode; 0 otherwise).
   std::uint64_t mpi_msgs = 0;
+  /// Bulk fragments issued across all ranks (bulkproto; 0 otherwise).
+  std::uint64_t bulk_fragments = 0;
   std::string plan{};  ///< FaultPlan::describe() of the plan that ran
 };
 

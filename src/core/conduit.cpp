@@ -93,6 +93,22 @@ sim::Task<> Conduit::finalize() {
     }
   }
 
+  // Flush the credit window of every still-connected peer. Finalize tears
+  // QPs down without running set_phase, so without this the granted credits
+  // would never be counted returned and the conservation audit
+  // (credits_granted == credits_returned) could not close. Epochs are
+  // bumped so any straggler release takes the stale-epoch path.
+  if (config().qp_credits != 0) {
+    for_each_peer([this](RankId, Peer& p) {
+      if (p.phase == Peer::Phase::kConnected) {
+        stats_.add("credits_returned", p.credit_pool);
+        p.credit_pool = 0;
+        ++p.credit_epoch;
+        if (p.credit_free) p.credit_free->notify_all();
+      }
+    });
+  }
+
   const fabric::FabricConfig& fcfg = job_.fabric().config();
   if (bulk_connected_) {
     std::uint64_t materialized = 0;
@@ -200,6 +216,12 @@ sim::Task<> Conduit::dispatch_am(AmPacket packet, fabric::Qpn src_qpn) {
       ring_entries_->push(entry);
       co_return;
     }
+    case kRendezvousHandler:  // rendezvous RTS/CTS (large-message tiering)
+      // Runs as its own task: the RTS branch may suspend while the sink
+      // resolver pins registration chunks.
+      engine().spawn(
+          handle_rendezvous(packet.src_rank, std::move(packet.payload)));
+      co_return;
     default:
       break;
   }
@@ -233,13 +255,26 @@ sim::Task<> Conduit::am_send(RankId dst, std::uint16_t handler,
   if (shm_routes(dst)) {
     co_return co_await shm_am_send(dst, handler, std::move(payload));
   }
-  fabric::QueuePair* qp = co_await connected_qp(dst);
-  AmPacket packet{handler, rank_, std::move(payload)};
-  fabric::Completion wc = co_await qp->send(packet.encode());
-  if (!wc.ok()) {
-    throw std::runtime_error("Conduit::am_send: send failed");
+  while (true) {
+    fabric::QueuePair* qp = co_await connected_qp(dst);
+    // User-level messages consume a flow-control credit; conduit-internal
+    // protocol traffic (barrier, disconnect notice/ack, rendezvous RTS/CTS)
+    // is exempt so eviction drains and rendezvous handshakes can always
+    // make progress even with the data window exhausted.
+    std::optional<std::uint32_t> credit;
+    if (handler >= kFirstUserHandler) {
+      credit = co_await acquire_credit(dst);
+      if (!credit) continue;  // connection torn down during the stall
+    }
+    AmPacket packet{handler, rank_, std::move(payload)};
+    fabric::Completion wc = co_await qp->send(packet.encode());
+    if (credit) release_credit(dst, *credit);
+    if (!wc.ok()) {
+      throw std::runtime_error("Conduit::am_send: send failed");
+    }
+    stats_.add("am_sent");
+    co_return;
   }
-  stats_.add("am_sent");
 }
 
 // ---- intra-node shared-memory transport ----
@@ -434,12 +469,18 @@ sim::Task<fabric::Completion> Conduit::put(RankId dst, fabric::VirtAddr raddr,
     co_return co_await shm_put(dst, raddr, std::move(data));
   }
   const sim::Time start = engine().now();
-  fabric::QueuePair* qp = co_await connected_qp(dst);
-  stats_.add("rma_put");
-  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  fabric::Completion wc = co_await qp->rdma_write(raddr, rkey, std::move(data));
-  stats_.add_time("rma_rc_time", engine().now() - start);
-  co_return wc;
+  while (true) {
+    fabric::QueuePair* qp = co_await connected_qp(dst);
+    std::optional<std::uint32_t> credit = co_await acquire_credit(dst);
+    if (!credit) continue;
+    stats_.add("rma_put");
+    notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
+    fabric::Completion wc =
+        co_await qp->rdma_write(raddr, rkey, std::move(data));
+    release_credit(dst, *credit);
+    stats_.add_time("rma_rc_time", engine().now() - start);
+    co_return wc;
+  }
 }
 
 sim::Task<fabric::Completion> Conduit::get(RankId dst, fabric::VirtAddr raddr,
@@ -449,12 +490,17 @@ sim::Task<fabric::Completion> Conduit::get(RankId dst, fabric::VirtAddr raddr,
     co_return co_await shm_get(dst, raddr, dest);
   }
   const sim::Time start = engine().now();
-  fabric::QueuePair* qp = co_await connected_qp(dst);
-  stats_.add("rma_get");
-  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  fabric::Completion wc = co_await qp->rdma_read(raddr, rkey, dest);
-  stats_.add_time("rma_rc_time", engine().now() - start);
-  co_return wc;
+  while (true) {
+    fabric::QueuePair* qp = co_await connected_qp(dst);
+    std::optional<std::uint32_t> credit = co_await acquire_credit(dst);
+    if (!credit) continue;
+    stats_.add("rma_get");
+    notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
+    fabric::Completion wc = co_await qp->rdma_read(raddr, rkey, dest);
+    release_credit(dst, *credit);
+    stats_.add_time("rma_rc_time", engine().now() - start);
+    co_return wc;
+  }
 }
 
 sim::Task<fabric::Completion> Conduit::atomic_fetch_add(
@@ -464,12 +510,17 @@ sim::Task<fabric::Completion> Conduit::atomic_fetch_add(
     co_return co_await shm_fetch_add(dst, raddr, add);
   }
   const sim::Time start = engine().now();
-  fabric::QueuePair* qp = co_await connected_qp(dst);
-  stats_.add("rma_atomic");
-  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  fabric::Completion wc = co_await qp->fetch_add(raddr, rkey, add);
-  stats_.add_time("rma_rc_time", engine().now() - start);
-  co_return wc;
+  while (true) {
+    fabric::QueuePair* qp = co_await connected_qp(dst);
+    std::optional<std::uint32_t> credit = co_await acquire_credit(dst);
+    if (!credit) continue;
+    stats_.add("rma_atomic");
+    notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
+    fabric::Completion wc = co_await qp->fetch_add(raddr, rkey, add);
+    release_credit(dst, *credit);
+    stats_.add_time("rma_rc_time", engine().now() - start);
+    co_return wc;
+  }
 }
 
 sim::Task<fabric::Completion> Conduit::atomic_compare_swap(
@@ -479,13 +530,18 @@ sim::Task<fabric::Completion> Conduit::atomic_compare_swap(
     co_return co_await shm_compare_swap(dst, raddr, expect, desired);
   }
   const sim::Time start = engine().now();
-  fabric::QueuePair* qp = co_await connected_qp(dst);
-  stats_.add("rma_atomic");
-  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  fabric::Completion wc = co_await qp->compare_swap(raddr, rkey, expect,
-                                                    desired);
-  stats_.add_time("rma_rc_time", engine().now() - start);
-  co_return wc;
+  while (true) {
+    fabric::QueuePair* qp = co_await connected_qp(dst);
+    std::optional<std::uint32_t> credit = co_await acquire_credit(dst);
+    if (!credit) continue;
+    stats_.add("rma_atomic");
+    notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
+    fabric::Completion wc = co_await qp->compare_swap(raddr, rkey, expect,
+                                                      desired);
+    release_credit(dst, *credit);
+    stats_.add_time("rma_rc_time", engine().now() - start);
+    co_return wc;
+  }
 }
 
 sim::Task<fabric::Completion> Conduit::atomic_swap(RankId dst,
@@ -496,12 +552,17 @@ sim::Task<fabric::Completion> Conduit::atomic_swap(RankId dst,
     co_return co_await shm_swap(dst, raddr, value);
   }
   const sim::Time start = engine().now();
-  fabric::QueuePair* qp = co_await connected_qp(dst);
-  stats_.add("rma_atomic");
-  notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-  fabric::Completion wc = co_await qp->swap(raddr, rkey, value);
-  stats_.add_time("rma_rc_time", engine().now() - start);
-  co_return wc;
+  while (true) {
+    fabric::QueuePair* qp = co_await connected_qp(dst);
+    std::optional<std::uint32_t> credit = co_await acquire_credit(dst);
+    if (!credit) continue;
+    stats_.add("rma_atomic");
+    notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
+    fabric::Completion wc = co_await qp->swap(raddr, rkey, value);
+    release_credit(dst, *credit);
+    stats_.add_time("rma_rc_time", engine().now() - start);
+    co_return wc;
+  }
 }
 
 // ---- PMI endpoint publication ----

@@ -71,6 +71,37 @@ using PayloadConsumer =
 /// are reserved for conduit-internal protocols (barrier).
 inline constexpr std::uint16_t kFirstUserHandler = 16;
 
+/// Conduit-internal AM id of the rendezvous RTS/CTS exchange. Internal
+/// handlers never consume flow-control credits, so a rendezvous handshake
+/// (or an eviction notice) can always make progress even when the data
+/// window toward the peer is exhausted.
+inline constexpr std::uint16_t kRendezvousHandler = 5;
+
+/// Which data path a transfer of a given size takes (DESIGN.md §5.17).
+enum class BulkTier : std::uint8_t { kEager, kPipelined, kRendezvous };
+
+/// One target-resolved span of a rendezvous transfer: where the data lands
+/// (or is read from) and under which rkey. On-demand registration answers
+/// with one range per pinned chunk; eager registration with a single range.
+struct RdvRange {
+  fabric::VirtAddr va = 0;
+  std::uint64_t len = 0;
+  fabric::RKey rkey = 0;
+};
+
+/// Target-side hook resolving an RTS into the sink ranges the CTS will
+/// carry. May suspend (the on-demand registration mode pins cold chunks
+/// here — the "RTS triggers a chunk fault" composition). When absent the
+/// CTS echoes `(raddr, len)` with rkey 0.
+using RendezvousSink = std::function<sim::Task<std::vector<RdvRange>>(
+    RankId src, RdvOp op, fabric::VirtAddr raddr, std::uint64_t len)>;
+
+/// Initiator-side hook run when the CTS arrives, before any data moves.
+/// Returning false aborts the transfer (rendezvous_put/get return false and
+/// the caller retries with a fresh RTS) — the on-demand registration mode
+/// uses this to reject a CTS whose rkeys lost a race with an invalidation.
+using OnCts = std::function<bool(const std::vector<RdvRange>& ranges)>;
+
 class Conduit {
  public:
   Conduit(ConduitJob& job, RankId rank);
@@ -174,6 +205,55 @@ class Conduit {
       RankId dst, fabric::VirtAddr raddr, fabric::RKey rkey,
       std::uint64_t value);
 
+  // ---- large-message tiering + flow control (DESIGN.md §5.17) ----
+
+  /// The tier a transfer of `len` bytes takes under the current config.
+  /// With both thresholds 0 (the default) everything is kEager.
+  [[nodiscard]] BulkTier select_tier(std::uint64_t len) const noexcept {
+    const ConduitConfig& cfg = config();
+    if (cfg.rendezvous_threshold != 0 && len > cfg.rendezvous_threshold) {
+      return BulkTier::kRendezvous;
+    }
+    if (cfg.eager_threshold != 0 && len > cfg.eager_threshold) {
+      return BulkTier::kPipelined;
+    }
+    return BulkTier::kEager;
+  }
+
+  /// Install the target-side rendezvous sink resolver (upper layer).
+  void set_rendezvous_sink(RendezvousSink sink) {
+    rendezvous_sink_ = std::move(sink);
+  }
+
+  /// Rendezvous put/get: RTS → (target posts sink) → CTS → fragment stream.
+  /// Returns false when `on_cts` rejected the grant (caller retries).
+  [[nodiscard]] sim::Task<bool> rendezvous_put(RankId dst,
+                                               fabric::VirtAddr raddr,
+                                               std::span<const std::byte> data,
+                                               OnCts on_cts = {});
+  [[nodiscard]] sim::Task<bool> rendezvous_get(RankId dst,
+                                               fabric::VirtAddr raddr,
+                                               std::span<std::byte> dest,
+                                               OnCts on_cts = {});
+
+  /// Pipelined (mid-tier) transfer: split into `bulk_chunk_bytes` fragments
+  /// streamed under the credit window (no RTS/CTS round trip).
+  [[nodiscard]] sim::Task<> put_fragmented(RankId dst, fabric::VirtAddr raddr,
+                                           fabric::RKey rkey,
+                                           std::span<const std::byte> data);
+  [[nodiscard]] sim::Task<> get_fragmented(RankId dst, fabric::VirtAddr raddr,
+                                           fabric::RKey rkey,
+                                           std::span<std::byte> dest);
+
+  /// Acquire one flow-control credit toward `dst`, suspending while the
+  /// window is exhausted. Returns the credit epoch to pass to
+  /// `release_credit`, or nullopt when the connection was torn down during
+  /// the stall (the caller must loop back through `connected_qp`). With
+  /// `qp_credits == 0` this returns immediately without suspending.
+  [[nodiscard]] sim::Task<std::optional<std::uint32_t>> acquire_credit(
+      RankId dst);
+  void release_credit(RankId dst, std::uint32_t epoch);
+
   // ---- barriers ----
 
   /// Barrier across all PEs. With the rc intra-node transport this is an
@@ -258,6 +338,15 @@ class Conduit {
     /// kIdle so a later attempt can retry).
     std::uint32_t fail_epoch = 0;
     std::string fail_reason{};
+    /// Flow-control window toward this peer (DESIGN.md §5.17): granted in
+    /// full when the connection reaches kConnected, consumed per send,
+    /// returned on completion. Leaving kConnected flushes the pool (the
+    /// "evicted QP returns its credits" rule) and bumps `credit_epoch` so
+    /// stragglers releasing after the teardown are accounted separately
+    /// instead of leaking into the next epoch's window.
+    std::uint32_t credit_pool = 0;
+    std::uint32_t credit_epoch = 0;
+    std::unique_ptr<sim::Trigger> credit_free{};
     // Intrusive (last_used, rank)-ordered list of kConnected peers; the
     // head is the eviction victim (core/lru.hpp).
     Peer* lru_prev = nullptr;
@@ -359,6 +448,27 @@ class Conduit {
   /// Materialize a bulk-modeled connection into real QPs on first use.
   fabric::QueuePair* materialize_bulk(RankId dst);
 
+  // Large-message tiering internals (core/bulk.cpp).
+  /// Target/initiator halves of the RTS/CTS exchange (AM kRendezvousHandler).
+  sim::Task<> handle_rendezvous(RankId src, std::vector<std::byte> payload);
+  /// Shared fragment streamer of the pipelined and rendezvous tiers:
+  /// fragments `ranges` into `bulk_chunk_bytes` pieces issued strictly in
+  /// order under the credit/window bound; put streams from `src_data`, get
+  /// (is_get) lands into `dest_data`. `seq` keys the fragment-ordering
+  /// invariant per (pair, stream).
+  sim::Task<> stream_fragments(RankId dst, bool is_get, std::uint32_t seq,
+                               std::vector<RdvRange> ranges,
+                               std::span<const std::byte> src_data,
+                               std::span<std::byte> dest_data);
+  /// One pending rendezvous at the initiator, keyed by seq: the CTS opens
+  /// the gate and deposits the granted ranges.
+  struct RdvPending {
+    explicit RdvPending(sim::Engine& engine)
+        : gate(std::make_unique<sim::Gate>(engine)) {}
+    std::unique_ptr<sim::Gate> gate;
+    std::vector<RdvRange> ranges{};
+  };
+
   // AM dispatch.
   /// `src_qpn` is the sender-side QP the message arrived from (0 for
   /// paths that do not track it); the disconnect-notice handler uses it
@@ -447,6 +557,14 @@ class Conduit {
   std::uint32_t listener_count_ = 0;
   std::uint64_t pending_evictions_ = 0;
   std::unique_ptr<sim::Trigger> evictions_settled_{};
+
+  // Large-message tiering state.
+  RendezvousSink rendezvous_sink_{};
+  std::map<std::uint32_t, RdvPending> rdv_pending_{};
+  /// Stream sequence shared by rendezvous and pipelined transfers so every
+  /// concurrent stream toward one peer carries a distinct (pair, seq) key
+  /// for the fragment-ordering invariant.
+  std::uint32_t rdv_seq_ = 0;
 
   sim::StatSet stats_{};
 };

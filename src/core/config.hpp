@@ -91,6 +91,34 @@ struct ConduitConfig {
   /// demand. 0 = unlimited (the paper's design). On-demand mode only.
   std::uint32_t max_active_connections = 0;
 
+  // ---- large-message protocol tiering (DESIGN.md §5.17) ----
+  // Size-tiered transfer selection, after MVAPICH's eager/rendezvous switch
+  // and RAMC's pipelined chunking. Both thresholds default to 0 (disabled):
+  // every transfer rides the eager path and the event/time stream is
+  // bit-identical to the pre-tiering conduit.
+
+  /// Transfers larger than this leave the eager path and are split into
+  /// `bulk_chunk_bytes` fragments streamed under a bounded window.
+  /// 0 = tiering disabled (everything is eager).
+  std::uint64_t eager_threshold = 0;
+  /// Transfers larger than this negotiate an RTS/CTS rendezvous before any
+  /// data moves, letting the target post (and, in on-demand registration
+  /// mode, pin) the sink first. 0 = rendezvous disabled.
+  std::uint64_t rendezvous_threshold = 0;
+  /// Fragment size of the pipelined and rendezvous data streams.
+  std::uint64_t bulk_chunk_bytes = 65536;
+  /// Credit-based flow control per established QP: credits granted when the
+  /// connection reaches kConnected, consumed per send toward the peer,
+  /// returned on completion; senders suspend on exhaustion, and an evicted
+  /// QP flushes its remaining credits. Also bounds the fragment window of
+  /// the pipelined/rendezvous streams. 0 = flow control disabled.
+  std::uint32_t qp_credits = 0;
+
+  /// True when any bulk tier can trigger (tier selection is active).
+  [[nodiscard]] bool tiering_enabled() const noexcept {
+    return eager_threshold != 0 || rendezvous_threshold != 0;
+  }
+
   /// TEST ONLY — deliberate protocol-bug injection for the fault-injection
   /// harness (tests/check): when true the server treats a duplicate
   /// ConnectRequest for an already-established connection as a fresh

@@ -49,9 +49,26 @@ void Conduit::set_phase(RankId peer_rank, Peer& p, PeerPhase next) {
     ++connected_count_;
     p.last_used = engine().now();
     lru_.insert(p);
+    // Grant the flow-control window for the fresh connection epoch
+    // (DESIGN.md §5.17). Waiters parked on the old epoch's trigger are
+    // woken so they can observe the epoch change and re-resolve.
+    if (config().qp_credits != 0) {
+      p.credit_pool = config().qp_credits;
+      stats_.add("credits_granted", config().qp_credits);
+      if (p.credit_free) p.credit_free->notify_all();
+    }
   } else if (p.phase == Peer::Phase::kConnected) {
     --connected_count_;
     lru_.remove(p);
+    // An evicted (or drained) QP returns its credits: flush the unspent
+    // pool, bump the epoch so in-flight sends release through the
+    // stale-epoch path, and wake stalled senders so they reconnect.
+    if (config().qp_credits != 0) {
+      stats_.add("credits_returned", p.credit_pool);
+      p.credit_pool = 0;
+      ++p.credit_epoch;
+      if (p.credit_free) p.credit_free->notify_all();
+    }
   }
   p.phase = next;
 }

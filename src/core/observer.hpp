@@ -95,6 +95,22 @@ struct ProtocolEvent {
                             ///< `peer`'s chunk `attempt` on a notice.
     kRegRkeyUsed,       ///< `self` resolved rkey `detail` of `peer`'s chunk
                         ///< `attempt` for an RMA (invariant: must be live).
+
+    // ---- large-message tiering + flow control (DESIGN.md §5.17). Only
+    // emitted when tiering / credits are enabled; the default config
+    // produces none of these, keeping its event stream bit-identical.
+    kRtsIssued,          ///< `self` (initiator) sent an RTS toward `peer`;
+                         ///< `attempt` = rendezvous seq, `detail` = length.
+    kCtsIssued,          ///< `self` (target) answered `peer`'s RTS
+                         ///< (`attempt` = seq) with a CTS.
+    kRendezvousDone,     ///< The rendezvous transfer `attempt` completed at
+                         ///< the initiator `self`.
+    kCreditStall,        ///< A sender at `self` stalled on credit
+                         ///< exhaustion toward `peer`; `detail` = stall ns.
+    kBulkFragmentSent,   ///< Fragment `attempt` of stream `detail` was
+                         ///< issued toward `peer` (strictly in order).
+    kBulkFragmentDelivered,  ///< Fragment `attempt` of stream `detail`
+                             ///< completed.
   };
 
   Kind kind = Kind::kPhaseChange;

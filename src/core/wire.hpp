@@ -11,6 +11,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fabric/types.hpp"
@@ -83,6 +84,22 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+/// Largest payload any packet may carry. Length fields on the wire are
+/// 32-bit; sizes beyond this would silently truncate through the
+/// `static_cast<std::uint32_t>` at encode time, corrupting the length field
+/// (the decoder would then mis-frame the stream). Encoders reject instead.
+inline constexpr std::size_t kMaxWirePayload = 1u << 30;
+
+/// Hard error on payloads the 32-bit wire length field cannot represent.
+inline void require_encodable(std::size_t payload_size) {
+  if (payload_size > kMaxWirePayload) {
+    throw std::length_error(
+        "wire: payload exceeds the maximum encodable size (" +
+        std::to_string(payload_size) + " > " +
+        std::to_string(kMaxWirePayload) + ")");
+  }
+}
+
 }  // namespace wire
 
 /// Type tag of packets carried over the UD control channel.
@@ -101,6 +118,7 @@ struct ConnectPacket {
   /// Serialize into `out`, reusing its capacity (hot-path variant: callers
   /// that encode repeatedly keep one buffer alive instead of allocating).
   void encode_into(std::vector<std::byte>& out) const {
+    wire::require_encodable(payload.size());
     out.clear();
     out.reserve(1 + 4 + 2 + 4 + 4 + payload.size());
     wire::put_u8(out, static_cast<std::uint8_t>(type));
@@ -137,6 +155,9 @@ struct ConnectPacket {
     packet.rc_addr.lid = reader.read_int<std::uint16_t>();
     packet.rc_addr.qpn = reader.read_int<std::uint32_t>();
     auto payload_len = reader.read_int<std::uint32_t>();
+    if (payload_len > wire::kMaxWirePayload) {
+      throw std::runtime_error("ConnectPacket: length field out of range");
+    }
     packet.payload = reader.read_bytes(payload_len);
     reader.expect_end();
     return packet;
@@ -153,6 +174,7 @@ struct AmPacket {
   std::vector<std::byte> payload{};
 
   void encode_into(std::vector<std::byte>& out) const {
+    wire::require_encodable(payload.size());
     out.clear();
     out.reserve(kHeaderSize + payload.size());
     wire::put_int<std::uint16_t>(out, handler);
@@ -235,6 +257,115 @@ struct RegPacket {
     if (wants_rkey != (packet.rkey != 0)) {
       throw std::runtime_error("RegPacket: rkey/type mismatch");
     }
+    return packet;
+  }
+};
+
+/// Message kinds of the bulk-transfer rendezvous protocol (DESIGN.md §5.17),
+/// carried as active messages on the conduit's internal rendezvous handler.
+enum class RdvMsgType : std::uint8_t {
+  kRts = 1,  ///< Ready-to-send: initiator announces `len` bytes at `raddr`.
+  kCts = 2,  ///< Clear-to-send: target posted the sink; carries the rkey set.
+};
+
+/// Which operation the rendezvous transfers.
+enum class RdvOp : std::uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kMsg = 3,  ///< Two-sided (MPI) message; `raddr` doubles as the tag.
+};
+
+/// One RTS/CTS frame. The RTS carries no ranges (`n == 0`); the CTS answers
+/// with the target-resolved `(va, len, rkey)` ranges covering the transfer
+/// (one per registration chunk in on-demand registration mode). Decode
+/// validates the type/op tags, the RTS emptiness rule, and rejects trailing
+/// bytes (tests/core/wire_fuzz_test.cpp).
+struct RendezvousPacket {
+  struct Range {
+    std::uint64_t va = 0;
+    std::uint64_t len = 0;
+    std::uint64_t rkey = 0;
+  };
+
+  RdvMsgType type = RdvMsgType::kRts;
+  RdvOp op = RdvOp::kPut;
+  std::uint32_t seq = 0;
+  std::uint64_t raddr = 0;
+  std::uint64_t len = 0;
+  std::vector<Range> ranges{};
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    out.reserve(1 + 1 + 4 + 8 + 8 + 2 + ranges.size() * 24);
+    wire::put_u8(out, static_cast<std::uint8_t>(type));
+    wire::put_u8(out, static_cast<std::uint8_t>(op));
+    wire::put_int<std::uint32_t>(out, seq);
+    wire::put_int<std::uint64_t>(out, raddr);
+    wire::put_int<std::uint64_t>(out, len);
+    wire::put_int<std::uint16_t>(out,
+                                 static_cast<std::uint16_t>(ranges.size()));
+    for (const Range& r : ranges) {
+      wire::put_int<std::uint64_t>(out, r.va);
+      wire::put_int<std::uint64_t>(out, r.len);
+      wire::put_int<std::uint64_t>(out, r.rkey);
+    }
+    return out;
+  }
+
+  static RendezvousPacket decode(std::span<const std::byte> data) {
+    wire::Reader reader(data);
+    RendezvousPacket packet;
+    auto raw_type = reader.read_int<std::uint8_t>();
+    if (raw_type < static_cast<std::uint8_t>(RdvMsgType::kRts) ||
+        raw_type > static_cast<std::uint8_t>(RdvMsgType::kCts)) {
+      throw std::runtime_error("RendezvousPacket: unknown message type");
+    }
+    packet.type = static_cast<RdvMsgType>(raw_type);
+    auto raw_op = reader.read_int<std::uint8_t>();
+    if (raw_op < static_cast<std::uint8_t>(RdvOp::kPut) ||
+        raw_op > static_cast<std::uint8_t>(RdvOp::kMsg)) {
+      throw std::runtime_error("RendezvousPacket: unknown op");
+    }
+    packet.op = static_cast<RdvOp>(raw_op);
+    packet.seq = reader.read_int<std::uint32_t>();
+    packet.raddr = reader.read_int<std::uint64_t>();
+    packet.len = reader.read_int<std::uint64_t>();
+    auto n = reader.read_int<std::uint16_t>();
+    packet.ranges.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      Range r;
+      r.va = reader.read_int<std::uint64_t>();
+      r.len = reader.read_int<std::uint64_t>();
+      r.rkey = reader.read_int<std::uint64_t>();
+      packet.ranges.push_back(r);
+    }
+    reader.expect_end();
+    if (packet.type == RdvMsgType::kRts && !packet.ranges.empty()) {
+      throw std::runtime_error("RendezvousPacket: RTS must carry no ranges");
+    }
+    return packet;
+  }
+};
+
+/// Credit return for the per-QP flow-control window (DESIGN.md §5.17).
+struct CreditPacket {
+  std::uint32_t seq = 0;
+  std::uint32_t credits = 0;
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    out.reserve(4 + 4);
+    wire::put_int<std::uint32_t>(out, seq);
+    wire::put_int<std::uint32_t>(out, credits);
+    return out;
+  }
+
+  static CreditPacket decode(std::span<const std::byte> data) {
+    wire::Reader reader(data);
+    CreditPacket packet;
+    packet.seq = reader.read_int<std::uint32_t>();
+    packet.credits = reader.read_int<std::uint32_t>();
+    reader.expect_end();
     return packet;
   }
 };

@@ -53,6 +53,16 @@ struct FabricConfig {
   /// Software overhead of enqueueing one shm active message.
   sim::Time shm_am_overhead = 100 * sim::nsec;
 
+  // ---- Large-message protocol tiering (DESIGN.md §5.17) ----
+  /// Bandwidth of the eager bounce-buffer copy at the receiver (two-sided
+  /// eager messages are copied out of the bounce buffer into the posted
+  /// receive; rendezvous transfers skip this). Charged only when tiering is
+  /// enabled so the default config's time stream stays bit-identical.
+  double eager_copy_bytes_per_ns = 8.0;
+  /// Cost of posting (and wiring up) the rendezvous sink at the target
+  /// between RTS arrival and CTS issue.
+  sim::Time rendezvous_sink_post_cost = 400 * sim::nsec;
+
   // ---- Unreliable Datagram fault injection ----
   double ud_drop_rate = 0.0;       ///< Probability a UD datagram is lost.
   double ud_duplicate_rate = 0.0;  ///< Probability a datagram is delivered twice.

@@ -12,7 +12,19 @@
 //   wtime
 //
 // Deviations from MPI proper, by design: no wildcard source/tag, no
-// communicator splitting, eager protocol only.
+// communicator splitting.
+//
+// Large messages tier like a real MPI (DESIGN.md §5.17): payloads at or
+// below `rendezvous_threshold` use the eager path (one AM, bounce-buffer
+// copy charged at the receiver when tiering is on); larger ones run a
+// credit-windowed rendezvous — an RTS announces (tag, len), the receiver's
+// first credit grant doubles as the CTS, and the payload streams in
+// `bulk_chunk_bytes` fragments with a per-fragment credit returned as each
+// lands. Zero-byte sends are always eager: they must still match a receive
+// but may not trigger connections, registration faults, or credits beyond
+// what one small AM costs. With the tiering knobs at their zero defaults
+// every message is eager and the wire traffic is bit-identical to the
+// pre-tiering implementation.
 #pragma once
 
 #include <cstdint>
@@ -149,6 +161,13 @@ class MpiComm {
  private:
   /// Wire tags: user tags are offset so collective traffic cannot collide.
   static constexpr std::uint64_t kUserTagSpace = 1ULL << 32;
+  /// Rendezvous control messages ride the same AM handler under reserved
+  /// tags far above both user and collective tag spaces. The payload tag a
+  /// rendezvous transfer matches under travels inside the RTS packet.
+  static constexpr std::uint64_t kCtrlBase = 1ULL << 48;
+  static constexpr std::uint64_t kCtrlRts = kCtrlBase + 0;
+  static constexpr std::uint64_t kCtrlData = kCtrlBase + 1;
+  static constexpr std::uint64_t kCtrlCredit = kCtrlBase + 2;
 
   /// One (src, tag) match queue. `active_poppers` counts receivers inside
   /// `pop()` — suspended or woken-but-not-yet-run — so reclaim never frees
@@ -160,12 +179,32 @@ class MpiComm {
   };
   using MatchKey = std::pair<RankId, std::uint64_t>;
 
+  /// Sender-side state of one in-flight rendezvous, keyed by sequence.
+  struct SendRdv {
+    explicit SendRdv(sim::Engine& engine) : cts(engine), granted(engine) {}
+    sim::Gate cts;        ///< Opened by the first credit grant (the CTS).
+    sim::Trigger granted; ///< Fired on every credit top-up.
+    std::uint32_t credits = 0;
+  };
+  /// Receiver-side reassembly of one rendezvous, keyed by (src, seq).
+  struct RecvRdv {
+    std::uint64_t tag = 0;  ///< The payload tag the transfer matches under.
+    std::uint64_t len = 0;
+    std::uint32_t next_frag = 0;
+    std::vector<std::byte> data{};
+  };
+
   sim::Task<std::vector<std::byte>> wait_impl(Request request);
   sim::Task<> handle_message(RankId src, std::vector<std::byte> payload);
+  sim::Task<> handle_ctrl(RankId src, std::uint64_t tag,
+                          std::vector<std::byte> payload);
   Match& matchbox(RankId src, std::uint64_t tag);
   void reclaim_matchbox(const MatchKey& key);
   sim::Task<> send_tagged(RankId dst, std::uint64_t tag,
                           std::span<const std::byte> data);
+  sim::Task<> send_rendezvous(RankId dst, std::uint64_t tag,
+                              std::span<const std::byte> data);
+  sim::Task<> send_credit(RankId dst, std::uint32_t seq, std::uint32_t n);
   sim::Task<std::vector<std::byte>> recv_tagged(RankId src,
                                                 std::uint64_t tag);
 
@@ -186,6 +225,11 @@ class MpiComm {
   /// the second irecv. Entries are reclaimed when their chain drains.
   std::map<MatchKey, std::shared_ptr<Request::State>> recv_tail_{};
   std::uint64_t coll_seq_ = 0;
+  // Rendezvous bookkeeping. Sequence numbers are per-sender, so the
+  // receiver keys reassembly by (src, seq).
+  std::uint32_t mpi_rdv_seq_ = 0;
+  std::map<std::uint32_t, std::shared_ptr<SendRdv>> send_rdv_{};
+  std::map<std::pair<RankId, std::uint32_t>, RecvRdv> recv_rdv_{};
 };
 
 template <typename T>

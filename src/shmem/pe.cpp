@@ -93,6 +93,12 @@ sim::Task<> ShmemPe::start_pes() {
     }
   }
 
+  // Rendezvous target hook: maps an incoming RTS to postable sink ranges
+  // (whole-heap rkey under eager registration, per-chunk pin faults under
+  // on-demand). A plain std::function install — no events, so the default
+  // (tiering-off) trace is unchanged.
+  bulk_init();
+
   const bool on_demand =
       conduit_.config().connection_mode == core::ConnectionMode::kOnDemand;
   if (on_demand) {
@@ -278,6 +284,11 @@ sim::Task<std::uint64_t> ShmemPe::local_atomic(SymAddr addr,
 sim::Task<> ShmemPe::put(RankId dst, SymAddr dest,
                          std::span<const std::byte> data) {
   stats().add("shmem_put");
+  if (data.empty()) {
+    // Zero-length puts are complete no-ops (OpenSHMEM 1.4 §9.3): no
+    // connection, no registration fault, no credit, no modeled latency.
+    co_return;
+  }
   if (dst == rank_) {
     co_await local_copy_in(dest, data);
     co_return;
@@ -293,15 +304,47 @@ sim::Task<> ShmemPe::put(RankId dst, SymAddr dest,
     }
     co_return;
   }
+  const core::BulkTier tier = conduit_.select_tier(data.size());
+  if (conduit_.config().tiering_enabled()) {
+    switch (tier) {
+      case core::BulkTier::kEager: stats().add("bulk_tier_eager"); break;
+      case core::BulkTier::kPipelined:
+        stats().add("bulk_tier_pipelined");
+        break;
+      case core::BulkTier::kRendezvous:
+        stats().add("bulk_tier_rendezvous");
+        break;
+    }
+  }
+  if (tier == core::BulkTier::kRendezvous) {
+    co_await bulk_rendezvous_put(dst, dest, data);
+    co_return;
+  }
   if (reg_on_demand()) {
     co_await reg_put(dst, dest,
-                     std::vector<std::byte>(data.begin(), data.end()));
+                     std::vector<std::byte>(data.begin(), data.end()),
+                     tier == core::BulkTier::kPipelined);
+    co_return;
+  }
+  if (tier == core::BulkTier::kPipelined) {
+    // Segment info may ride the connection handshake; establish first.
+    (void)co_await conduit_.connected_qp(dst);
+    auto [va, rkey] = remote_addr(dst, dest, data.size());
+    co_await conduit_.put_fragmented(dst, va, rkey, data);
     co_return;
   }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, dest, data.size());
+  std::optional<std::uint32_t> credit;
+  while (true) {
+    credit = co_await conduit_.acquire_credit(dst);
+    if (credit) break;
+    // Connection torn down while stalled on credits; re-establish.
+    qp = co_await conduit_.connected_qp(dst);
+  }
   fabric::Completion wc = co_await qp->rdma_write(
       va, rkey, std::vector<std::byte>(data.begin(), data.end()));
+  conduit_.release_credit(dst, *credit);
   if (!wc.ok()) {
     throw std::runtime_error("ShmemPe::put: RDMA write failed");
   }
@@ -321,6 +364,9 @@ void ShmemPe::put_nbi(RankId dst, SymAddr dest,
 
 sim::Task<> ShmemPe::get(RankId dst, SymAddr src, std::span<std::byte> dest) {
   stats().add("shmem_get");
+  if (dest.empty()) {
+    co_return;  // zero-length: no-op, mirrors put()
+  }
   if (dst == rank_) {
     co_await local_copy_out(src, dest);
     co_return;
@@ -333,13 +379,42 @@ sim::Task<> ShmemPe::get(RankId dst, SymAddr src, std::span<std::byte> dest) {
     }
     co_return;
   }
+  const core::BulkTier tier = conduit_.select_tier(dest.size());
+  if (conduit_.config().tiering_enabled()) {
+    switch (tier) {
+      case core::BulkTier::kEager: stats().add("bulk_tier_eager"); break;
+      case core::BulkTier::kPipelined:
+        stats().add("bulk_tier_pipelined");
+        break;
+      case core::BulkTier::kRendezvous:
+        stats().add("bulk_tier_rendezvous");
+        break;
+    }
+  }
+  if (tier == core::BulkTier::kRendezvous) {
+    co_await bulk_rendezvous_get(dst, src, dest);
+    co_return;
+  }
   if (reg_on_demand()) {
-    co_await reg_get(dst, src, dest);
+    co_await reg_get(dst, src, dest, tier == core::BulkTier::kPipelined);
+    co_return;
+  }
+  if (tier == core::BulkTier::kPipelined) {
+    (void)co_await conduit_.connected_qp(dst);
+    auto [va, rkey] = remote_addr(dst, src, dest.size());
+    co_await conduit_.get_fragmented(dst, va, rkey, dest);
     co_return;
   }
   fabric::QueuePair* qp = co_await conduit_.connected_qp(dst);
   auto [va, rkey] = remote_addr(dst, src, dest.size());
+  std::optional<std::uint32_t> credit;
+  while (true) {
+    credit = co_await conduit_.acquire_credit(dst);
+    if (credit) break;
+    qp = co_await conduit_.connected_qp(dst);
+  }
   fabric::Completion wc = co_await qp->rdma_read(va, rkey, dest);
+  conduit_.release_credit(dst, *credit);
   if (!wc.ok()) {
     throw std::runtime_error("ShmemPe::get: RDMA read failed");
   }
@@ -460,6 +535,7 @@ void ShmemPe::iput(RankId dst, SymAddr dest, std::span<const std::byte> data,
       nelems > 0) {
     throw std::out_of_range("ShmemPe::iput: source too small");
   }
+  if (nelems == 0) return;  // validated no-op: nothing issued, nothing pinned
   for (std::uint32_t k = 0; k < nelems; ++k) {
     put_nbi(dst,
             dest + static_cast<std::uint64_t>(k) * dst_stride * elem,
@@ -479,6 +555,7 @@ sim::Task<> ShmemPe::iget(RankId dst, std::span<std::byte> dest, SymAddr src,
       nelems > 0) {
     throw std::out_of_range("ShmemPe::iget: destination too small");
   }
+  if (nelems == 0) co_return;  // validated no-op
   for (std::uint32_t k = 0; k < nelems; ++k) {
     co_await get(dst,
                  src + static_cast<std::uint64_t>(k) * src_stride * elem,

@@ -39,6 +39,7 @@
 
 namespace odcm::fabric::reg {
 class RegistrationCache;
+class RkeyLease;
 class RkeyTable;
 }  // namespace odcm::fabric::reg
 
@@ -304,8 +305,12 @@ class ShmemPe {
   fabric::VirtAddr reg_remote_va(RankId dst, SymAddr addr,
                                  std::size_t len) const;
   // Chunk-splitting RC data paths used when registration == kOnDemand.
-  sim::Task<> reg_put(RankId dst, SymAddr dest, std::vector<std::byte> data);
-  sim::Task<> reg_get(RankId dst, SymAddr src, std::span<std::byte> dest);
+  // `fragmented` streams each chunk's bytes through the conduit's pipelined
+  // window instead of one large RDMA (DESIGN.md §5.17).
+  sim::Task<> reg_put(RankId dst, SymAddr dest, std::vector<std::byte> data,
+                      bool fragmented = false);
+  sim::Task<> reg_get(RankId dst, SymAddr src, std::span<std::byte> dest,
+                      bool fragmented = false);
   /// kind: 0 = fetch-add(a), 1 = swap(a), 2 = compare-swap(expect=a, b).
   sim::Task<fabric::Completion> reg_atomic(RankId dst, SymAddr addr, int kind,
                                            std::uint64_t a, std::uint64_t b);
@@ -313,6 +318,29 @@ class ShmemPe {
                   std::uint32_t chunk, std::uint64_t rkey);
   /// Wait for in-flight chunk registrations / eviction drains to settle.
   sim::Task<> reg_quiesce();
+
+  // Large-message tier glue (implemented in pe_bulk.cpp, DESIGN.md §5.17).
+  /// Install the conduit's rendezvous sink: the target-side hook that maps
+  /// an RTS (VA, len) to postable ranges — whole-heap rkey under eager
+  /// registration, per-chunk pin faults under on-demand registration.
+  void bulk_init();
+  /// RTS/CTS rendezvous transfers; retry internally when a granted rkey
+  /// dies to a racing invalidation before the transfer starts.
+  sim::Task<> bulk_rendezvous_put(RankId dst, SymAddr dest,
+                                  std::span<const std::byte> data);
+  sim::Task<> bulk_rendezvous_get(RankId dst, SymAddr src,
+                                  std::span<std::byte> dest);
+  /// Target half: map [raddr, raddr+len) to sink ranges, pinning chunks
+  /// on demand (a rendezvous RTS can trigger registration faults).
+  sim::Task<std::vector<core::RdvRange>> bulk_sink(RankId src, core::RdvOp op,
+                                                   fabric::VirtAddr raddr,
+                                                   std::uint64_t len);
+  /// Initiator half (on-demand registration only): install the CTS rkey
+  /// set into the rkey table and take a lease per chunk. False when a
+  /// granted rkey was already tombstoned — caller re-issues the RTS.
+  bool bulk_accept_ranges(RankId dst,
+                          const std::vector<core::RdvRange>& ranges,
+                          std::vector<fabric::reg::RkeyLease>& leases);
 
   // Collective plumbing (implemented in collectives.cpp).
   CollectState& collect_state(std::uint64_t key);

@@ -225,7 +225,7 @@ fabric::VirtAddr ShmemPe::reg_remote_va(RankId dst, SymAddr addr,
 }
 
 sim::Task<> ShmemPe::reg_put(RankId dst, SymAddr dest,
-                             std::vector<std::byte> data) {
+                             std::vector<std::byte> data, bool fragmented) {
   const std::uint64_t chunk_bytes = config().reg_chunk_bytes;
   std::size_t offset = 0;
   while (offset < data.size()) {
@@ -246,6 +246,17 @@ sim::Task<> ShmemPe::reg_put(RankId dst, SymAddr dest,
         continue;
       }
       reg_report(ProtocolEvent::Kind::kRegRkeyUsed, dst, chunk, rkey);
+      if (fragmented) {
+        // Pipelined tier: stream this chunk's bytes through the conduit's
+        // bounded-window fragmenter. The lease is held across the whole
+        // stream, so a racing invalidation defers its ack (and the
+        // target's deregistration) until every fragment completed.
+        co_await conduit_.put_fragmented(
+            dst, va, rkey,
+            std::span<const std::byte>(data).subspan(offset, take));
+        lease.release();
+        break;
+      }
       fabric::Completion wc = co_await qp->rdma_write(
           va, rkey,
           std::vector<std::byte>(
@@ -262,7 +273,7 @@ sim::Task<> ShmemPe::reg_put(RankId dst, SymAddr dest,
 }
 
 sim::Task<> ShmemPe::reg_get(RankId dst, SymAddr src,
-                             std::span<std::byte> dest) {
+                             std::span<std::byte> dest, bool fragmented) {
   const std::uint64_t chunk_bytes = config().reg_chunk_bytes;
   std::size_t offset = 0;
   while (offset < dest.size()) {
@@ -281,6 +292,12 @@ sim::Task<> ShmemPe::reg_get(RankId dst, SymAddr src,
         continue;
       }
       reg_report(ProtocolEvent::Kind::kRegRkeyUsed, dst, chunk, rkey);
+      if (fragmented) {
+        co_await conduit_.get_fragmented(dst, va, rkey,
+                                         dest.subspan(offset, take));
+        lease.release();
+        break;
+      }
       fabric::Completion wc =
           co_await qp->rdma_read(va, rkey, dest.subspan(offset, take));
       lease.release();

@@ -45,6 +45,13 @@ const char* annotation_name(ProtocolEvent::Kind kind) {
     case ProtocolEvent::Kind::kRegRkeyInvalidated:
       return "reg_rkey_invalidated";
     case ProtocolEvent::Kind::kRegRkeyUsed: return "reg_rkey_used";
+    case ProtocolEvent::Kind::kRtsIssued: return "rts";
+    case ProtocolEvent::Kind::kCtsIssued: return "cts";
+    case ProtocolEvent::Kind::kRendezvousDone: return "rendezvous_done";
+    case ProtocolEvent::Kind::kCreditStall: return "credit_stall";
+    case ProtocolEvent::Kind::kBulkFragmentSent: return "frag_sent";
+    case ProtocolEvent::Kind::kBulkFragmentDelivered:
+      return "frag_delivered";
   }
   return "?";
 }
@@ -157,6 +164,21 @@ void export_chrome_trace(std::ostream& out,
       write_ts(ev, mark.time);
       ev << ",\"args\":{\"peer\":" << mark.peer << ",\"chunk\":" << mark.chunk
          << ",\"rkey\":" << mark.rkey << "}}";
+    }
+  }
+
+  // Large-message protocol steps (rendezvous, fragments, credit stalls) as
+  // instant events on the initiating PE's track. Empty with tiering off.
+  if (options.annotations) {
+    for (const auto& mark : timeline.bulk_marks()) {
+      std::ostream& ev = writer.begin();
+      ev << "{\"name\":\"" << annotation_name(mark.kind)
+         << "\",\"cat\":\"bulk\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kPePid
+         << ",\"tid\":" << mark.self << ",\"ts\":";
+      write_ts(ev, mark.time);
+      ev << ",\"args\":{\"peer\":" << mark.peer
+         << ",\"attempt\":" << mark.attempt << ",\"detail\":" << mark.detail
+         << "}}";
     }
   }
 

@@ -32,6 +32,15 @@ void ConnectionTimeline::on_event(const ProtocolEvent& event) {
       // never attach to a handshake record.
       on_reg_event(event);
       return;
+    case ProtocolEvent::Kind::kRtsIssued:
+    case ProtocolEvent::Kind::kCtsIssued:
+    case ProtocolEvent::Kind::kRendezvousDone:
+    case ProtocolEvent::Kind::kCreditStall:
+    case ProtocolEvent::Kind::kBulkFragmentSent:
+    case ProtocolEvent::Kind::kBulkFragmentDelivered:
+      // Large-message protocol events: point marks as well.
+      on_bulk_event(event);
+      return;
     default:
       break;
   }
@@ -161,6 +170,36 @@ void ConnectionTimeline::on_reg_event(const ProtocolEvent& event) {
       break;
     case ProtocolEvent::Kind::kRegRkeyUsed:
       registry_->add("reg/rkey_uses");
+      break;
+    default:
+      break;
+  }
+}
+
+void ConnectionTimeline::on_bulk_event(const ProtocolEvent& event) {
+  bulk_marks_.push_back(BulkMark{event.kind, event.self, event.peer,
+                                 event.attempt, event.detail, event.time});
+  if (registry_ == nullptr) return;
+  switch (event.kind) {
+    case ProtocolEvent::Kind::kRtsIssued:
+      registry_->add("bulk/rts");
+      break;
+    case ProtocolEvent::Kind::kCtsIssued:
+      registry_->add("bulk/cts");
+      break;
+    case ProtocolEvent::Kind::kRendezvousDone:
+      registry_->add("bulk/rendezvous_done");
+      break;
+    case ProtocolEvent::Kind::kCreditStall:
+      registry_->add("bulk/credit_stalls");
+      registry_->observe("bulk/credit_stall_time",
+                         static_cast<sim::Time>(event.detail));
+      break;
+    case ProtocolEvent::Kind::kBulkFragmentSent:
+      registry_->add("bulk/fragments_sent");
+      break;
+    case ProtocolEvent::Kind::kBulkFragmentDelivered:
+      registry_->add("bulk/fragments_delivered");
       break;
     default:
       break;

@@ -77,6 +77,17 @@ class ConnectionTimeline : public core::ProtocolObserver {
     sim::Time time;
   };
 
+  /// One large-message protocol step (rendezvous / fragment / credit
+  /// event), kept as a point mark like the registration marks.
+  struct BulkMark {
+    core::ProtocolEvent::Kind kind;
+    fabric::RankId self;
+    fabric::RankId peer;
+    std::uint32_t attempt;  ///< seq (RTS/CTS/done) or fragment index.
+    std::uint64_t detail;   ///< length, stream seq or stall duration.
+    sim::Time time;
+  };
+
   /// An optional registry receives aggregate protocol metrics
   /// (`conn/handshake_time` histogram, `conn/retransmits` counter, ...,
   /// plus the `reg/*` registration counters and the `reg/fault_latency`
@@ -99,6 +110,9 @@ class ConnectionTimeline : public core::ProtocolObserver {
   [[nodiscard]] const std::vector<RegMark>& reg_marks() const noexcept {
     return reg_marks_;
   }
+  [[nodiscard]] const std::vector<BulkMark>& bulk_marks() const noexcept {
+    return bulk_marks_;
+  }
   [[nodiscard]] std::uint64_t events_seen() const noexcept {
     return events_seen_;
   }
@@ -115,12 +129,14 @@ class ConnectionTimeline : public core::ProtocolObserver {
   PairState& state(fabric::RankId self, fabric::RankId peer);
   Handshake* open_handshake(PairState& s);
   void on_reg_event(const core::ProtocolEvent& event);
+  void on_bulk_event(const core::ProtocolEvent& event);
 
   MetricsRegistry* registry_;
   std::map<std::pair<fabric::RankId, fabric::RankId>, PairState> pairs_{};
   std::vector<PhaseInterval> intervals_{};
   std::vector<Handshake> handshakes_{};
   std::vector<RegMark> reg_marks_{};
+  std::vector<BulkMark> bulk_marks_{};
   /// Send time of the in-flight rkey fault per (initiator, target, chunk),
   /// for the reg/fault_latency histogram.
   std::map<std::tuple<fabric::RankId, fabric::RankId, std::uint32_t>,

@@ -101,6 +101,121 @@ TEST(Torture, MpiHybridCarriesTwoSidedTraffic) {
   EXPECT_GE(result.mpi_msgs, 2ull * 6 * 4);
 }
 
+// ---- large-message tiering under faults (ctest label: bulkproto) ----
+
+/// Like sweep(), with the bulk-protocol traffic mix (rendezvous ring
+/// puts, pipelined fragment streams, read-back gets, and — in hybrid
+/// mode — above-threshold tagged messages) layered on every round.
+std::uint32_t bulk_sweep(TortureMode mode, std::uint32_t recipes,
+                         std::uint32_t seeds_per_recipe,
+                         std::uint64_t seed_base) {
+  std::uint32_t cases = 0;
+  for (std::uint32_t recipe = 0; recipe < recipes; ++recipe) {
+    for (std::uint32_t i = 0; i < seeds_per_recipe; ++i) {
+      TortureCase c;
+      c.seed = seed_base + i;
+      c.recipe = recipe;
+      c.mode = mode;
+      c.bulkproto = true;
+      TortureResult result = run_case(c);
+      EXPECT_TRUE(result.ok)
+          << "mode=" << to_string(mode)
+          << " recipe=" << FaultPlan::recipe_name(recipe) << " (bulkproto)\n"
+          << result.failure;
+      if (!result.ok) return cases;
+      ++cases;
+    }
+  }
+  return cases;
+}
+
+TEST(Torture, BulkprotoSweepAllRecipes) {
+  // Credit/fragment conservation and the rendezvous state machine must
+  // hold under every UD fault recipe, in the plain on-demand mode and the
+  // two dangerous compositions: eviction-capped (a QP can be evicted
+  // between a CTS and its fragment stream) and hybrid (MPI rendezvous
+  // control rides the same AM channel the faults are hammering).
+  EXPECT_EQ(bulk_sweep(TortureMode::kOnDemand, FaultPlan::kRecipeCount,
+                       /*seeds_per_recipe=*/12, /*seed_base=*/6000),
+            8u * 12u);
+  EXPECT_EQ(bulk_sweep(TortureMode::kEvictionCapped, FaultPlan::kRecipeCount,
+                       /*seeds_per_recipe=*/12, /*seed_base=*/6200),
+            8u * 12u);
+  EXPECT_EQ(bulk_sweep(TortureMode::kMpiHybrid, FaultPlan::kRecipeCount,
+                       /*seeds_per_recipe=*/8, /*seed_base=*/6400),
+            8u * 8u);
+  EXPECT_EQ(bulk_sweep(TortureMode::kShm, FaultPlan::kRecipeCount,
+                       /*seeds_per_recipe=*/8, /*seed_base=*/6600),
+            8u * 8u);
+  EXPECT_EQ(bulk_sweep(TortureMode::kStatic, /*recipes=*/4,
+                       /*seeds_per_recipe=*/8, /*seed_base=*/6800),
+            4u * 8u);
+}
+
+TEST(Torture, BulkprotoActuallyMovesFragments) {
+  // Guard against the sweep silently degrading to eager-only traffic: a
+  // clean bulkproto case must stream a healthy number of fragments.
+  TortureCase c;
+  c.seed = 6100;
+  c.recipe = 0;  // clean
+  c.bulkproto = true;
+  TortureResult result = run_case(c);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_GT(result.bulk_fragments, 0u);
+}
+
+TEST(Torture, BulkprotoEvictionMidRendezvousUnderPerturbedSchedules) {
+  // The dangerous interleaving the issue calls out: a rendezvous stream
+  // in flight while the connection manager evicts QPs under a 2-slot cap,
+  // re-run under perturbed tie-break seeds and jitter so the
+  // eviction-vs-CTS and eviction-vs-fragment races actually fire.
+  const std::uint32_t recipes[] = {2, 4, 6};  // heavy_loss, chaos_mix,
+                                              // reply_drop
+  for (std::uint32_t recipe : recipes) {
+    TortureCase base;
+    base.seed = 9100 + recipe;
+    base.recipe = recipe;
+    base.mode = TortureMode::kEvictionCapped;
+    base.bulkproto = true;
+    ScheduleExploration plain = explore_schedules(base, /*schedule_seeds=*/4,
+                                                  /*schedule_seed_base=*/1);
+    EXPECT_TRUE(plain.ok) << "recipe=" << FaultPlan::recipe_name(recipe)
+                          << " (bulkproto)\n" << plain.failure.failure
+                          << "\n  replay: " << plain.replay;
+    ScheduleExploration jittered = explore_schedules(
+        base, /*schedule_seeds=*/2, /*schedule_seed_base=*/101,
+        /*jitter=*/200);
+    EXPECT_TRUE(jittered.ok)
+        << "recipe=" << FaultPlan::recipe_name(recipe)
+        << " (bulkproto, jittered)\n" << jittered.failure.failure
+        << "\n  replay: " << jittered.replay;
+  }
+}
+
+TEST(Torture, BulkprotoReplayCommandRoundTrips) {
+  TortureCase c;
+  c.seed = 11;
+  c.bulkproto = true;
+  std::string command = replay_command(c);
+  EXPECT_NE(command.find("--bulkproto"), std::string::npos) << command;
+}
+
+TEST(Torture, BulkprotoCaseIsDeterministic) {
+  TortureCase c;
+  c.seed = 171;
+  c.recipe = 4;  // chaos_mix
+  c.mode = TortureMode::kEvictionCapped;
+  c.bulkproto = true;
+  c.schedule_seed = 3;
+  TortureResult first = run_case(c);
+  TortureResult second = run_case(c);
+  EXPECT_TRUE(first.ok) << first.failure;
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.events_seen, second.events_seen);
+  EXPECT_EQ(first.bulk_fragments, second.bulk_fragments);
+  EXPECT_EQ(first.fault_decisions, second.fault_decisions);
+}
+
 TEST(Torture, ReplayCommandRoundTrips) {
   TortureCase c;
   c.seed = 424242;

@@ -288,6 +288,188 @@ TEST(RegPacketFuzz, RandomValidPacketsRoundTrip) {
   }
 }
 
+// ---- encode-side length guard (ISSUE 9 wire-length bugfix) ----
+
+TEST(WireLengthGuard, RequireEncodableRejectsOversizedPayloads) {
+  EXPECT_NO_THROW(wire::require_encodable(0));
+  EXPECT_NO_THROW(wire::require_encodable(wire::kMaxWirePayload));
+  EXPECT_THROW(wire::require_encodable(wire::kMaxWirePayload + 1),
+               std::length_error);
+  EXPECT_THROW(wire::require_encodable(~std::size_t{0}), std::length_error);
+}
+
+TEST(WireLengthGuard, ConnectPacketEncodeRejectsUntruncatablePayload) {
+  // Regression: the payload length used to be narrowed through
+  // static_cast<uint32_t> at encode time, so a payload one byte past the
+  // cap would write a corrupt length field instead of failing. The encoder
+  // must throw before emitting a single byte.
+  ConnectPacket packet = sample_packet();
+  packet.payload.resize(wire::kMaxWirePayload + 1);
+  EXPECT_THROW(packet.encode(), std::length_error);
+  std::vector<std::byte> out;
+  EXPECT_THROW(packet.encode_into(out), std::length_error);
+}
+
+TEST(WireLengthGuard, DecodeRejectsLengthFieldBeyondCap) {
+  // The matching decode-side rule: a length field that claims more than
+  // kMaxWirePayload is rejected up front, even if (on a hypothetical jumbo
+  // frame) the buffer actually held that many bytes.
+  std::vector<std::byte> encoded = sample_packet().encode();
+  const std::size_t len_offset = 1 + 4 + 2 + 4;
+  const auto claimed =
+      static_cast<std::uint32_t>(wire::kMaxWirePayload + 1);
+  std::memcpy(encoded.data() + len_offset, &claimed, 4);
+  EXPECT_THROW(ConnectPacket::decode(encoded), std::runtime_error);
+}
+
+// ---- RendezvousPacket decoder (large-message tiering protocol) ----
+
+RendezvousPacket sample_cts() {
+  RendezvousPacket packet;
+  packet.type = RdvMsgType::kCts;
+  packet.op = RdvOp::kPut;
+  packet.seq = 9;
+  packet.raddr = 0x1000;
+  packet.len = 5000;
+  packet.ranges.push_back({0x1000, 4096, 0xAA01});
+  packet.ranges.push_back({0x2000, 904, 0xAA02});
+  return packet;
+}
+
+TEST(RendezvousPacketFuzz, EveryTruncationThrows) {
+  std::vector<std::byte> encoded = sample_cts().encode();
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    std::span<const std::byte> prefix(encoded.data(), len);
+    EXPECT_THROW(RendezvousPacket::decode(prefix), std::runtime_error)
+        << "prefix of length " << len << " decoded without error";
+  }
+  EXPECT_NO_THROW(RendezvousPacket::decode(encoded));
+}
+
+TEST(RendezvousPacketFuzz, TrailingGarbageThrows) {
+  std::vector<std::byte> encoded = sample_cts().encode();
+  encoded.push_back(std::byte{0x77});
+  EXPECT_THROW(RendezvousPacket::decode(encoded), std::runtime_error);
+}
+
+TEST(RendezvousPacketFuzz, UnknownTypeOrOpThrows) {
+  std::vector<std::byte> encoded = sample_cts().encode();
+  for (int bad : {0, 3, 4, 127, 255}) {
+    std::vector<std::byte> mutated = encoded;
+    mutated[0] = static_cast<std::byte>(bad);
+    EXPECT_THROW(RendezvousPacket::decode(mutated), std::runtime_error)
+        << "type byte " << bad << " accepted";
+  }
+  for (int bad : {0, 4, 5, 200}) {
+    std::vector<std::byte> mutated = encoded;
+    mutated[1] = static_cast<std::byte>(bad);
+    EXPECT_THROW(RendezvousPacket::decode(mutated), std::runtime_error)
+        << "op byte " << bad << " accepted";
+  }
+}
+
+TEST(RendezvousPacketFuzz, RangeCountMismatchThrows) {
+  // The range-count field claims more (or fewer) ranges than the frame
+  // holds: more must hit the truncation check, fewer the trailing-bytes
+  // check. Neither may mis-frame silently.
+  std::vector<std::byte> encoded = sample_cts().encode();
+  const std::size_t count_offset = 1 + 1 + 4 + 8 + 8;
+  for (std::uint16_t claimed : {std::uint16_t{3}, std::uint16_t{0xffff}}) {
+    std::vector<std::byte> mutated = encoded;
+    std::memcpy(mutated.data() + count_offset, &claimed, 2);
+    EXPECT_THROW(RendezvousPacket::decode(mutated), std::runtime_error)
+        << "claimed range count " << claimed << " accepted";
+  }
+  std::uint16_t fewer = 1;
+  std::memcpy(encoded.data() + count_offset, &fewer, 2);
+  EXPECT_THROW(RendezvousPacket::decode(encoded), std::runtime_error);
+}
+
+TEST(RendezvousPacketFuzz, RtsWithRangesThrows) {
+  RendezvousPacket rts = sample_cts();
+  rts.type = RdvMsgType::kRts;  // RTS must carry no ranges
+  EXPECT_THROW(RendezvousPacket::decode(rts.encode()), std::runtime_error);
+  rts.ranges.clear();
+  EXPECT_NO_THROW(RendezvousPacket::decode(rts.encode()));
+}
+
+TEST(RendezvousPacketFuzz, RandomBytesNeverReadOutOfBounds) {
+  sim::Rng rng(0xF026u);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::size_t size = rng.next_below(96);
+    std::vector<std::byte> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+    try {
+      RendezvousPacket packet = RendezvousPacket::decode(data);
+      EXPECT_EQ(packet.encode(), data) << "iter " << iter;
+    } catch (const std::runtime_error&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST(RendezvousPacketFuzz, RandomValidPacketsRoundTrip) {
+  sim::Rng rng(0xF027u);
+  for (int iter = 0; iter < 500; ++iter) {
+    RendezvousPacket packet;
+    packet.type = rng.chance(0.5) ? RdvMsgType::kRts : RdvMsgType::kCts;
+    packet.op = static_cast<RdvOp>(1 + rng.next_below(3));
+    packet.seq = static_cast<std::uint32_t>(rng.next_u64());
+    packet.raddr = rng.next_u64();
+    packet.len = rng.next_u64();
+    if (packet.type == RdvMsgType::kCts) {
+      std::size_t n = rng.next_below(5);
+      for (std::size_t i = 0; i < n; ++i) {
+        packet.ranges.push_back(
+            {rng.next_u64(), rng.next_u64(), rng.next_u64()});
+      }
+    }
+    RendezvousPacket decoded = RendezvousPacket::decode(packet.encode());
+    EXPECT_EQ(decoded.type, packet.type);
+    EXPECT_EQ(decoded.op, packet.op);
+    EXPECT_EQ(decoded.seq, packet.seq);
+    EXPECT_EQ(decoded.raddr, packet.raddr);
+    EXPECT_EQ(decoded.len, packet.len);
+    ASSERT_EQ(decoded.ranges.size(), packet.ranges.size());
+    for (std::size_t i = 0; i < packet.ranges.size(); ++i) {
+      EXPECT_EQ(decoded.ranges[i].va, packet.ranges[i].va);
+      EXPECT_EQ(decoded.ranges[i].len, packet.ranges[i].len);
+      EXPECT_EQ(decoded.ranges[i].rkey, packet.ranges[i].rkey);
+    }
+  }
+}
+
+// ---- CreditPacket decoder ----
+
+TEST(CreditPacketFuzz, TruncationAndTrailingGarbageThrow) {
+  CreditPacket packet;
+  packet.seq = 5;
+  packet.credits = 2;
+  std::vector<std::byte> encoded = packet.encode();
+  ASSERT_EQ(encoded.size(), 8u);
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    std::span<const std::byte> prefix(encoded.data(), len);
+    EXPECT_THROW(CreditPacket::decode(prefix), std::runtime_error)
+        << "prefix of length " << len << " decoded without error";
+  }
+  encoded.push_back(std::byte{0x01});
+  EXPECT_THROW(CreditPacket::decode(encoded), std::runtime_error);
+}
+
+TEST(CreditPacketFuzz, RoundTrips) {
+  sim::Rng rng(0xF028u);
+  for (int iter = 0; iter < 500; ++iter) {
+    CreditPacket packet;
+    packet.seq = static_cast<std::uint32_t>(rng.next_u64());
+    packet.credits = static_cast<std::uint32_t>(rng.next_u64());
+    CreditPacket decoded = CreditPacket::decode(packet.encode());
+    EXPECT_EQ(decoded.seq, packet.seq);
+    EXPECT_EQ(decoded.credits, packet.credits);
+  }
+}
+
 // ---- PMI endpoint encoding ----
 
 TEST(EndpointCodec, BadLengthsThrow) {

@@ -1,0 +1,199 @@
+// Large-message protocol tiering at the OpenSHMEM layer (ISSUE 9).
+//
+// Covers the two satellite bugfix pins plus the tentpole compositions:
+//  * zero-length put/get/iput/iget are complete no-ops — no registration
+//    faults, no connection establishment, no credits, no fragments;
+//  * tier selection routes by size (eager / pipelined / rendezvous) and
+//    every tier moves the right bytes;
+//  * a rendezvous RTS against cold chunks acts as a batched registration
+//    fault at the target (on-demand registration composition);
+//  * rendezvous transfers survive pin-cap eviction pressure — a CTS whose
+//    rkey lost the race with an invalidation is rejected and retried.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "shmem/job.hpp"
+#include "test_util.hpp"
+
+namespace odcm::shmem {
+namespace {
+
+using testutil::JobEnv;
+using testutil::small_job;
+using testutil::with_init;
+
+core::ConduitConfig tiered_design() {
+  core::ConduitConfig conduit = core::proposed_design();
+  conduit.eager_threshold = 512;
+  conduit.rendezvous_threshold = 4096;
+  conduit.bulk_chunk_bytes = 512;
+  conduit.qp_credits = 2;
+  return conduit;
+}
+
+std::vector<std::byte> pattern(std::uint64_t salt, std::size_t len) {
+  std::vector<std::byte> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<std::byte>((salt * 131 + i) & 0xff);
+  }
+  return out;
+}
+
+// ---- zero-length operations (satellite bugfix pin) ----
+
+TEST(BulkProto, ZeroLengthOpsAreCompleteNoOps) {
+  ShmemJobConfig config = small_job(4, 1, tiered_design());
+  config.shmem.registration = RegistrationMode::kOnDemand;
+  config.shmem.reg_chunk_bytes = 8192;
+  JobEnv env(config);
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    const SymAddr slot = pe.heap().allocate(64, 8);
+    co_await pe.barrier_all();
+
+    // Snapshot which peers are untouched and every counter a zero-length
+    // op could possibly bump.
+    const RankId dst = (pe.rank() + 1) % pe.n_pes();
+    std::vector<core::PeerPhase> phases;
+    for (RankId p = 0; p < pe.n_pes(); ++p) {
+      phases.push_back(pe.conduit().peer_phase(p));
+    }
+    sim::StatSet& stats = pe.stats();
+    const double faults = stats.counter("reg_rkey_misses");
+    const double rts = stats.counter("rdv_rts_sent");
+    const double frags = stats.counter("bulk_fragments_sent");
+    const double credits = stats.counter("credits_granted");
+    const double rdma = stats.counter("rma_put") + stats.counter("rma_get");
+
+    std::vector<std::byte> empty;
+    co_await pe.put(dst, slot, empty);
+    co_await pe.get(dst, slot, empty);
+    pe.iput(dst, slot, empty, 1, 1, 8, 0);
+    co_await pe.iget(dst, empty, slot, 1, 1, 8, 0);
+    co_await pe.quiet();
+
+    for (RankId p = 0; p < pe.n_pes(); ++p) {
+      EXPECT_EQ(pe.conduit().peer_phase(p), phases[p])
+          << "zero-length op changed the connection phase toward " << p;
+    }
+    EXPECT_EQ(stats.counter("reg_rkey_misses"), faults);
+    EXPECT_EQ(stats.counter("rdv_rts_sent"), rts);
+    EXPECT_EQ(stats.counter("bulk_fragments_sent"), frags);
+    EXPECT_EQ(stats.counter("credits_granted"), credits);
+    EXPECT_EQ(stats.counter("rma_put") + stats.counter("rma_get"), rdma);
+    co_await pe.barrier_all();
+  }));
+}
+
+// ---- tier routing ----
+
+TEST(BulkProto, TierSelectionRoutesBySizeAndMovesBytes) {
+  JobEnv env(small_job(2, 1, tiered_design()));
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    const SymAddr eager_buf = pe.heap().allocate(512, 8);
+    const SymAddr pipe_buf = pe.heap().allocate(2048, 8);
+    const SymAddr rdv_buf = pe.heap().allocate(16384, 8);
+    co_await pe.barrier_all();
+    const RankId dst = 1 - pe.rank();
+
+    const std::vector<std::byte> small = pattern(pe.rank() + 1, 256);
+    const std::vector<std::byte> mid = pattern(pe.rank() + 10, 2048);
+    const std::vector<std::byte> large = pattern(pe.rank() + 20, 12288);
+    co_await pe.put(dst, eager_buf, small);
+    co_await pe.put(dst, pipe_buf, mid);
+    co_await pe.put(dst, rdv_buf, large);
+    co_await pe.barrier_all();
+
+    std::vector<std::byte> back(12288);
+    co_await pe.get(dst, rdv_buf, back);
+    EXPECT_EQ(back, large);
+    back.resize(2048);
+    co_await pe.get(dst, pipe_buf, back);
+    EXPECT_EQ(back, mid);
+    back.resize(256);
+    co_await pe.get(dst, eager_buf, back);
+    EXPECT_EQ(back, small);
+    co_await pe.barrier_all();
+
+    sim::StatSet& stats = pe.stats();
+    EXPECT_GE(stats.counter("bulk_tier_eager"), 1);
+    EXPECT_GE(stats.counter("bulk_tier_pipelined"), 2);  // put + get
+    EXPECT_GE(stats.counter("bulk_tier_rendezvous"), 2);
+    EXPECT_GE(stats.counter("rdv_done"), 2);
+    // 12288/512 fragments per rendezvous + 2048/512 per pipelined stream.
+    EXPECT_GE(stats.counter("bulk_fragments_sent"), 24 + 4);
+    EXPECT_GT(stats.counter("credits_granted"), 0);
+  }));
+}
+
+// ---- rendezvous × on-demand registration composition ----
+
+TEST(BulkProto, RendezvousRtsActsAsBatchedRegistrationFault) {
+  ShmemJobConfig config = small_job(2, 1, tiered_design());
+  config.shmem.registration = RegistrationMode::kOnDemand;
+  config.shmem.reg_chunk_bytes = 4096;
+  JobEnv env(config);
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    const SymAddr buf = pe.heap().allocate(16384, 8);
+    co_await pe.barrier_all();
+    const RankId dst = 1 - pe.rank();
+
+    // 10000 bytes spanning three 4 KiB chunks, all cold: the RTS must pin
+    // every one of them at the target before the CTS comes back, with no
+    // per-chunk fault round trips from the initiator.
+    const std::vector<std::byte> large = pattern(pe.rank() + 5, 10000);
+    co_await pe.put(dst, buf, large);
+    co_await pe.barrier_all();
+
+    std::vector<std::byte> back(10000);
+    co_await pe.get(dst, buf, back);
+    EXPECT_EQ(back, large);
+    co_await pe.barrier_all();
+
+    sim::StatSet& stats = pe.stats();
+    EXPECT_GE(stats.counter("rdv_done"), 2);  // one put + one get
+    // The target pinned chunks for the peer's RTS (misses on its own
+    // cache), yet the initiator never sent a single-chunk fault request.
+    EXPECT_GE(stats.counter("reg_chunk_misses"), 3);
+    EXPECT_EQ(stats.counter("reg_rkey_misses"), 0);
+  }));
+}
+
+TEST(BulkProto, RendezvousSurvivesEvictionPressure) {
+  ShmemJobConfig config = small_job(2, 1, tiered_design());
+  config.shmem.registration = RegistrationMode::kOnDemand;
+  config.shmem.reg_chunk_bytes = 4096;
+  // Pin cap of two chunks: every 10000-byte transfer (three chunks) must
+  // evict mid-protocol, so CTS grants race invalidation notices.
+  config.shmem.reg_pinned_max_bytes = 2 * 4096;
+  JobEnv env(config);
+  env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+    const SymAddr a = pe.heap().allocate(16384, 8);
+    const SymAddr b = pe.heap().allocate(16384, 8);
+    co_await pe.barrier_all();
+    const RankId dst = 1 - pe.rank();
+
+    std::vector<std::byte> last_a, last_b;
+    for (int round = 0; round < 4; ++round) {
+      last_a = pattern(100 + round, 10000);
+      last_b = pattern(200 + round, 10000);
+      co_await pe.put(dst, a, last_a);
+      co_await pe.put(dst, b, last_b);
+    }
+    co_await pe.barrier_all();
+    std::vector<std::byte> back(10000);
+    co_await pe.get(dst, a, back);
+    EXPECT_EQ(back, last_a);
+    co_await pe.get(dst, b, back);
+    EXPECT_EQ(back, last_b);
+    co_await pe.barrier_all();
+
+    // Alternating three-chunk transfers under a two-chunk cap must evict
+    // continuously; the transfers above still delivered exact bytes.
+    EXPECT_GT(pe.stats().counter("reg_evictions"), 0);
+  }));
+}
+
+}  // namespace
+}  // namespace odcm::shmem

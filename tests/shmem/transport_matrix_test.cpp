@@ -238,6 +238,111 @@ TEST(TransportMatrix, RegistrationModesMatchByteForByte) {
   }
 }
 
+// Large-message tier row of the matrix (ISSUE 9 tentpole): the same
+// workload — now including puts/gets big enough to cross the pipelined and
+// rendezvous thresholds — must produce byte-identical heaps over
+// {eager, pipelined, rendezvous} tiering × {rc, shm} intranode transport ×
+// {eager, on_demand} registration. Tiering changes *how* bytes move
+// (fragment streams, RTS/CTS, credit stalls) — never which bytes land.
+TEST(TransportMatrix, BulkTiersMatchEagerBaselineByteForByte) {
+  enum class Tier { kEager, kPipelined, kRendezvous };
+  auto tier_name = [](Tier tier) {
+    switch (tier) {
+      case Tier::kEager: return "eager";
+      case Tier::kPipelined: return "pipelined";
+      case Tier::kRendezvous: return "rendezvous";
+    }
+    return "?";
+  };
+
+  auto run_tier_cell = [](Tier tier, IntranodeTransport transport,
+                          RegistrationMode registration) {
+    core::ConduitConfig conduit = core::proposed_design();
+    conduit.intranode_transport = transport;
+    if (tier != Tier::kEager) {
+      conduit.eager_threshold = 1024;
+      conduit.bulk_chunk_bytes = 1024;
+      conduit.qp_credits = 2;
+    }
+    if (tier == Tier::kRendezvous) {
+      conduit.rendezvous_threshold = 4096;
+    }
+    ShmemJobConfig config = small_job(kPes, 4, conduit);
+    config.shmem.registration = registration;
+    config.shmem.reg_chunk_bytes = 8192;
+    JobEnv env(config);
+    env.run(with_init([](ShmemPe& pe) -> sim::Task<> {
+      co_await workload(pe);
+      // Bulk extension: a 12 KiB and a 2 KiB single-writer put into the
+      // right neighbor, read back and verified, so the tiered data paths
+      // carry real traffic in every cell.
+      const std::uint32_t n = pe.n_pes();
+      const RankId me = pe.rank();
+      const RankId right = (me + 1) % n;
+      const SymAddr big = pe.heap().allocate(12288, 8);
+      const SymAddr mid = pe.heap().allocate(2048, 8);
+      std::vector<std::byte> big_pat(12288), mid_pat(2048);
+      for (std::size_t k = 0; k < big_pat.size(); ++k) {
+        big_pat[k] = static_cast<std::byte>((me * 67 + k) & 0xff);
+      }
+      for (std::size_t k = 0; k < mid_pat.size(); ++k) {
+        mid_pat[k] = static_cast<std::byte>((me * 41 + k * 3) & 0xff);
+      }
+      co_await pe.put(right, big, big_pat);
+      co_await pe.put(right, mid, mid_pat);
+      co_await pe.barrier_all();
+      std::vector<std::byte> back(12288);
+      co_await pe.get(right, big, back);
+      EXPECT_EQ(back, big_pat) << "pe" << me;
+      back.resize(2048);
+      co_await pe.get(right, mid, back);
+      EXPECT_EQ(back, mid_pat) << "pe" << me;
+      co_await pe.barrier_all();
+    }));
+
+    if (tier == Tier::kRendezvous && transport == IntranodeTransport::kRc) {
+      sim::StatSet totals = env.job.conduit_job().aggregate_stats();
+      EXPECT_GT(totals.counter("rdv_done"), 0);
+      EXPECT_GT(totals.counter("bulk_fragments_sent"), 0);
+    }
+
+    std::vector<std::vector<std::byte>> heaps;
+    heaps.reserve(kPes);
+    for (RankId r = 0; r < kPes; ++r) {
+      auto window =
+          env.job.pe(r).local_window(0, env.job.shmem_config().heap_bytes);
+      heaps.emplace_back(window.begin(), window.end());
+    }
+    return heaps;
+  };
+
+  auto baseline = run_tier_cell(Tier::kEager, IntranodeTransport::kRc,
+                                RegistrationMode::kEager);
+  for (Tier tier : {Tier::kEager, Tier::kPipelined, Tier::kRendezvous}) {
+    for (IntranodeTransport transport :
+         {IntranodeTransport::kRc, IntranodeTransport::kShm}) {
+      for (RegistrationMode registration :
+           {RegistrationMode::kEager, RegistrationMode::kOnDemand}) {
+        if (tier == Tier::kEager && transport == IntranodeTransport::kRc &&
+            registration == RegistrationMode::kEager) {
+          continue;  // the baseline itself
+        }
+        SCOPED_TRACE(std::string(tier_name(tier)) +
+                     (transport == IntranodeTransport::kShm ? "/shm" : "/rc") +
+                     (registration == RegistrationMode::kOnDemand
+                          ? "/on_demand"
+                          : "/eager_reg"));
+        auto heaps = run_tier_cell(tier, transport, registration);
+        ASSERT_EQ(heaps.size(), baseline.size());
+        for (RankId r = 0; r < kPes; ++r) {
+          EXPECT_EQ(heaps[r], baseline[r])
+              << "heap contents diverged at pe" << r;
+        }
+      }
+    }
+  }
+}
+
 // With on-demand + shm at PPN 4, same-node pairs must not consume RC QPs:
 // every same-node peer stays phase-Idle and the shm peer counter accounts
 // for the node-local traffic instead.
