@@ -85,6 +85,26 @@ sim::Task<> Conduit::stream_fragments(RankId dst, bool is_get,
                                       std::vector<RdvRange> ranges,
                                       std::span<const std::byte> src_data,
                                       std::span<std::byte> dest_data) {
+  // Validate the range set against the transfer size BEFORE issuing
+  // fragments: the ranges arrive from the peer's CTS, and a set covering
+  // more bytes than the local buffer would drive the subspan() calls
+  // below past the end. (RendezvousPacket::decode cross-checks CTS frames
+  // too; this also guards ranges built by local sink resolvers.)
+  const std::uint64_t expected = is_get ? dest_data.size() : src_data.size();
+  std::uint64_t covered = 0;
+  for (const RdvRange& range : ranges) {
+    if (range.len > expected - covered) {
+      throw std::runtime_error(
+          "Conduit: rendezvous ranges cover more than the " +
+          std::to_string(expected) + "-byte transfer");
+    }
+    covered += range.len;
+  }
+  if (covered != expected) {
+    throw std::runtime_error(
+        "Conduit: rendezvous ranges cover " + std::to_string(covered) +
+        " of " + std::to_string(expected) + " bytes");
+  }
   const std::uint64_t chunk =
       std::max<std::uint64_t>(1, config().bulk_chunk_bytes);
   const std::uint32_t window =
@@ -164,12 +184,6 @@ sim::Task<> Conduit::stream_fragments(RankId dst, bool is_get,
   }
   if (state->error) {
     std::rethrow_exception(state->error);
-  }
-  const std::uint64_t expected = is_get ? dest_data.size() : src_data.size();
-  if (offset != expected) {
-    throw std::runtime_error(
-        "Conduit: rendezvous ranges cover " + std::to_string(offset) +
-        " of " + std::to_string(expected) + " bytes");
   }
 }
 

@@ -267,7 +267,15 @@ sim::Task<> Conduit::am_send(RankId dst, std::uint16_t handler,
       if (!credit) continue;  // connection torn down during the stall
     }
     AmPacket packet{handler, rank_, std::move(payload)};
-    fabric::Completion wc = co_await qp->send(packet.encode());
+    fabric::Completion wc;
+    try {
+      wc = co_await qp->send(packet.encode());
+    } catch (...) {
+      // Return the credit on exceptional completion too, or the peer's
+      // window shrinks forever and the finalize conservation audit fails.
+      if (credit) release_credit(dst, *credit);
+      throw;
+    }
     if (credit) release_credit(dst, *credit);
     if (!wc.ok()) {
       throw std::runtime_error("Conduit::am_send: send failed");
@@ -475,8 +483,15 @@ sim::Task<fabric::Completion> Conduit::put(RankId dst, fabric::VirtAddr raddr,
     if (!credit) continue;
     stats_.add("rma_put");
     notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-    fabric::Completion wc =
-        co_await qp->rdma_write(raddr, rkey, std::move(data));
+    // Credits return on every completion path, exceptional included
+    // (conservation audit; same guard as stream_fragments).
+    fabric::Completion wc;
+    try {
+      wc = co_await qp->rdma_write(raddr, rkey, std::move(data));
+    } catch (...) {
+      release_credit(dst, *credit);
+      throw;
+    }
     release_credit(dst, *credit);
     stats_.add_time("rma_rc_time", engine().now() - start);
     co_return wc;
@@ -496,7 +511,13 @@ sim::Task<fabric::Completion> Conduit::get(RankId dst, fabric::VirtAddr raddr,
     if (!credit) continue;
     stats_.add("rma_get");
     notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-    fabric::Completion wc = co_await qp->rdma_read(raddr, rkey, dest);
+    fabric::Completion wc;
+    try {
+      wc = co_await qp->rdma_read(raddr, rkey, dest);
+    } catch (...) {
+      release_credit(dst, *credit);
+      throw;
+    }
     release_credit(dst, *credit);
     stats_.add_time("rma_rc_time", engine().now() - start);
     co_return wc;
@@ -516,7 +537,13 @@ sim::Task<fabric::Completion> Conduit::atomic_fetch_add(
     if (!credit) continue;
     stats_.add("rma_atomic");
     notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-    fabric::Completion wc = co_await qp->fetch_add(raddr, rkey, add);
+    fabric::Completion wc;
+    try {
+      wc = co_await qp->fetch_add(raddr, rkey, add);
+    } catch (...) {
+      release_credit(dst, *credit);
+      throw;
+    }
     release_credit(dst, *credit);
     stats_.add_time("rma_rc_time", engine().now() - start);
     co_return wc;
@@ -536,8 +563,13 @@ sim::Task<fabric::Completion> Conduit::atomic_compare_swap(
     if (!credit) continue;
     stats_.add("rma_atomic");
     notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-    fabric::Completion wc = co_await qp->compare_swap(raddr, rkey, expect,
-                                                      desired);
+    fabric::Completion wc;
+    try {
+      wc = co_await qp->compare_swap(raddr, rkey, expect, desired);
+    } catch (...) {
+      release_credit(dst, *credit);
+      throw;
+    }
     release_credit(dst, *credit);
     stats_.add_time("rma_rc_time", engine().now() - start);
     co_return wc;
@@ -558,7 +590,13 @@ sim::Task<fabric::Completion> Conduit::atomic_swap(RankId dst,
     if (!credit) continue;
     stats_.add("rma_atomic");
     notify({.kind = ProtocolEvent::Kind::kRdmaIssued, .peer = dst});
-    fabric::Completion wc = co_await qp->swap(raddr, rkey, value);
+    fabric::Completion wc;
+    try {
+      wc = co_await qp->swap(raddr, rkey, value);
+    } catch (...) {
+      release_credit(dst, *credit);
+      throw;
+    }
     release_credit(dst, *credit);
     stats_.add_time("rma_rc_time", engine().now() - start);
     co_return wc;

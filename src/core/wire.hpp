@@ -278,8 +278,9 @@ enum class RdvOp : std::uint8_t {
 /// One RTS/CTS frame. The RTS carries no ranges (`n == 0`); the CTS answers
 /// with the target-resolved `(va, len, rkey)` ranges covering the transfer
 /// (one per registration chunk in on-demand registration mode). Decode
-/// validates the type/op tags, the RTS emptiness rule, and rejects trailing
-/// bytes (tests/core/wire_fuzz_test.cpp).
+/// validates the type/op tags, the RTS emptiness rule, the CTS coverage
+/// rule (ranges sum exactly to `len`), and rejects trailing bytes
+/// (tests/core/wire_fuzz_test.cpp).
 struct RendezvousPacket {
   struct Range {
     std::uint64_t va = 0;
@@ -342,6 +343,23 @@ struct RendezvousPacket {
     reader.expect_end();
     if (packet.type == RdvMsgType::kRts && !packet.ranges.empty()) {
       throw std::runtime_error("RendezvousPacket: RTS must carry no ranges");
+    }
+    if (packet.type == RdvMsgType::kCts) {
+      // The granted ranges must cover `len` exactly: the initiator walks
+      // them with subspans of a `len`-byte buffer, so an inconsistent set
+      // (hostile or corrupt) must die here, not at the stream.
+      std::uint64_t covered = 0;
+      for (const Range& r : packet.ranges) {
+        if (r.len > packet.len - covered) {
+          throw std::runtime_error(
+              "RendezvousPacket: CTS ranges exceed the announced length");
+        }
+        covered += r.len;
+      }
+      if (covered != packet.len) {
+        throw std::runtime_error(
+            "RendezvousPacket: CTS ranges do not cover the announced length");
+      }
     }
     return packet;
   }

@@ -40,9 +40,20 @@ sim::Task<> MpiComm::handle_message(RankId src,
     // Eager bounce-buffer copy: with tiering on, the receiver pays to move
     // the payload from the bounce buffer into the posted buffer — the cost
     // rendezvous exists to avoid. Never charged on control fragments.
+    // Claim a delivery slot BEFORE suspending: handler tasks run
+    // concurrently, so a smaller message arriving later finishes its copy
+    // sooner, but may only push after every earlier delivery from this
+    // source has pushed (non-overtaking). Copies still overlap in time;
+    // only the matchbox pushes are ordered.
+    auto slot = std::make_shared<sim::Gate>(conduit_.engine());
+    std::shared_ptr<sim::Gate> prev = std::exchange(deliver_tail_[src], slot);
     const fabric::FabricConfig& fcfg = conduit_.hca().fabric().config();
     co_await conduit_.engine().delay(static_cast<sim::Time>(
         static_cast<double>(data.size()) / fcfg.eager_copy_bytes_per_ns));
+    if (prev) co_await prev->wait();
+    matchbox(src, tag).box.push(std::move(data));
+    finish_delivery(src, slot);
+    co_return;
   }
   matchbox(src, tag).box.push(std::move(data));
   co_return;
@@ -52,6 +63,13 @@ sim::Task<> MpiComm::handle_ctrl(RankId src, std::uint64_t tag,
                                  std::vector<std::byte> payload) {
   if (tag == kCtrlRts) {
     core::RendezvousPacket rts = core::RendezvousPacket::decode(payload);
+    if (rts.len > core::wire::kMaxWirePayload) {
+      // Bound the reassembly reservation like the other wire decoders
+      // bound their length fields: a corrupt RTS must not force a huge
+      // allocation inside a detached handler task. The sender enforces
+      // the same cap before announcing (send_rendezvous).
+      throw std::runtime_error("MpiComm: RTS length out of range");
+    }
     conduit_.stats().add("mpi_rdv_recvs");
     RecvRdv& st = recv_rdv_[{src, rts.seq}];
     st.tag = rts.raddr;  // the RTS carries the payload tag in `raddr`
@@ -86,7 +104,16 @@ sim::Task<> MpiComm::handle_ctrl(RankId src, std::uint64_t tag,
       std::uint64_t match_tag = st.tag;
       std::vector<std::byte> data = std::move(st.data);
       recv_rdv_.erase(it);
+      // Enlist in the per-source delivery chain: an eager message that
+      // arrived before this final fragment may still be paying its
+      // bounce-copy delay, and the rendezvous payload must not overtake
+      // it into the matchbox.
+      auto slot = std::make_shared<sim::Gate>(conduit_.engine());
+      std::shared_ptr<sim::Gate> prev =
+          std::exchange(deliver_tail_[src], slot);
+      if (prev) co_await prev->wait();
       matchbox(src, match_tag).box.push(std::move(data));
+      finish_delivery(src, slot);
     }
   } else if (tag == kCtrlCredit) {
     core::CreditPacket grant = core::CreditPacket::decode(payload);
@@ -112,6 +139,15 @@ MpiComm::Match& MpiComm::matchbox(RankId src, std::uint64_t tag) {
     conduit_.stats().add("mpi_matchbox_created");
   }
   return *it->second;
+}
+
+void MpiComm::finish_delivery(RankId src,
+                              const std::shared_ptr<sim::Gate>& slot) {
+  slot->open();
+  auto it = deliver_tail_.find(src);
+  if (it != deliver_tail_.end() && it->second == slot) {
+    deliver_tail_.erase(it);
+  }
 }
 
 void MpiComm::reclaim_matchbox(const MatchKey& key) {
@@ -142,6 +178,9 @@ sim::Task<> MpiComm::send_tagged(RankId dst, std::uint64_t tag,
 
 sim::Task<> MpiComm::send_rendezvous(RankId dst, std::uint64_t tag,
                                      std::span<const std::byte> data) {
+  // Same message-size cap the eager path inherits from AmPacket encoding:
+  // the receiver rejects RTS lengths beyond it (handle_ctrl).
+  core::wire::require_encodable(data.size());
   const std::uint32_t seq = ++mpi_rdv_seq_;
   conduit_.stats().add("mpi_rdv_sends");
   auto state = std::make_shared<SendRdv>(conduit_.engine());

@@ -200,6 +200,7 @@ class MpiComm {
                           std::vector<std::byte> payload);
   Match& matchbox(RankId src, std::uint64_t tag);
   void reclaim_matchbox(const MatchKey& key);
+  void finish_delivery(RankId src, const std::shared_ptr<sim::Gate>& slot);
   sim::Task<> send_tagged(RankId dst, std::uint64_t tag,
                           std::span<const std::byte> data);
   sim::Task<> send_rendezvous(RankId dst, std::uint64_t tag,
@@ -224,6 +225,18 @@ class MpiComm {
   /// mailbox, and a perturbed tie-break order hands the first message to
   /// the second irecv. Entries are reclaimed when their chain drains.
   std::map<MatchKey, std::shared_ptr<Request::State>> recv_tail_{};
+  /// Tail of the per-source delivery chain — the receiver-handler half of
+  /// the non-overtaking rule. With tiering on, the eager bounce-copy delay
+  /// suspends inside the per-message handler task, and handler tasks run
+  /// concurrently: a smaller message arriving later finishes its copy
+  /// sooner and would jump the matchbox. Every delivery that can suspend
+  /// claims a slot here before its first suspension (handler starts are
+  /// strictly time-ordered by arrival) and pushes only after its
+  /// predecessor pushed, so matchbox order equals arrival order. Completed
+  /// rendezvous payloads enlist too: they must not overtake an
+  /// earlier-arrived eager message still paying its copy delay. Entries
+  /// self-reclaim when their chain drains, like send_tail_/recv_tail_.
+  std::map<RankId, std::shared_ptr<sim::Gate>> deliver_tail_{};
   std::uint64_t coll_seq_ = 0;
   // Rendezvous bookkeeping. Sequence numbers are per-sender, so the
   // receiver keys reassembly by (src, seq).

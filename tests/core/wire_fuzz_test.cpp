@@ -385,6 +385,19 @@ TEST(RendezvousPacketFuzz, RangeCountMismatchThrows) {
   EXPECT_THROW(RendezvousPacket::decode(encoded), std::runtime_error);
 }
 
+TEST(RendezvousPacketFuzz, CtsRangeCoverageMismatchThrows) {
+  // The initiator subspans a `len`-byte buffer by the CTS ranges, so a
+  // range set covering more or fewer bytes than announced must die at
+  // decode, before any fragment is issued.
+  RendezvousPacket packet = sample_cts();  // ranges cover 5000 bytes
+  packet.len = 4999;  // ranges overshoot the transfer
+  EXPECT_THROW(RendezvousPacket::decode(packet.encode()), std::runtime_error);
+  packet.len = 5001;  // ranges undershoot the transfer
+  EXPECT_THROW(RendezvousPacket::decode(packet.encode()), std::runtime_error);
+  packet.len = 5000;
+  EXPECT_NO_THROW(RendezvousPacket::decode(packet.encode()));
+}
+
 TEST(RendezvousPacketFuzz, RtsWithRangesThrows) {
   RendezvousPacket rts = sample_cts();
   rts.type = RdvMsgType::kRts;  // RTS must carry no ranges
@@ -420,10 +433,13 @@ TEST(RendezvousPacketFuzz, RandomValidPacketsRoundTrip) {
     packet.raddr = rng.next_u64();
     packet.len = rng.next_u64();
     if (packet.type == RdvMsgType::kCts) {
+      // CTS ranges must cover `len` exactly (the decoder enforces it).
       std::size_t n = rng.next_below(5);
+      packet.len = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        packet.ranges.push_back(
-            {rng.next_u64(), rng.next_u64(), rng.next_u64()});
+        std::uint64_t range_len = 1 + rng.next_below(1u << 20);
+        packet.ranges.push_back({rng.next_u64(), range_len, rng.next_u64()});
+        packet.len += range_len;
       }
     }
     RendezvousPacket decoded = RendezvousPacket::decode(packet.encode());

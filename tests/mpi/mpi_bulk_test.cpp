@@ -130,6 +130,36 @@ TEST(MpiBulk, MixedSizesKeepPostingOrderPerTag) {
   });
 }
 
+TEST(MpiBulk, EagerBounceCopyKeepsArrivalOrder) {
+  // Two eager messages (both under the rendezvous threshold) posted
+  // big-then-small to one (dst, tag): the receiver charges a
+  // size-proportional bounce-copy delay inside concurrently running
+  // handler tasks, so the later, smaller message finishes its copy while
+  // the big one is still copying (50KB at 8 B/ns dwarfs the ~2us
+  // inter-arrival gap). Its matchbox push must still come second —
+  // deliveries chain per source (non-overtaking).
+  core::ConduitConfig conduit = tiered_design();
+  conduit.rendezvous_threshold = 1 << 16;  // keep a 50KB message eager
+  BulkEnv env(2, conduit);
+  env.run([](MpiComm& comm) -> sim::Task<> {
+    const std::vector<std::byte> big = pattern(11, 50000);
+    const std::vector<std::byte> small = pattern(12, 8);
+    if (comm.rank() == 0) {
+      MpiComm::Request s0 = comm.isend(1, 13, big);
+      MpiComm::Request s1 = comm.isend(1, 13, small);
+      std::vector<MpiComm::Request> sends{s0, s1};
+      co_await comm.waitall(std::move(sends));
+    } else {
+      std::vector<std::byte> m0 = co_await comm.recv(0, 13);
+      std::vector<std::byte> m1 = co_await comm.recv(0, 13);
+      EXPECT_EQ(m0, big);
+      EXPECT_EQ(m1, small);
+    }
+  });
+  sim::StatSet totals = env.totals();
+  EXPECT_EQ(totals.counter("mpi_rdv_sends"), 0);  // both stayed eager
+}
+
 TEST(MpiBulk, ZeroByteSendMatchesWithoutRendezvous) {
   BulkEnv env(2, tiered_design());
   env.run([](MpiComm& comm) -> sim::Task<> {
